@@ -1,0 +1,160 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* VALMOD with the Eq.-2 pruning disabled (degenerates to STOMP-range) —
+  isolates the contribution of the lower bound.
+* VALMOD with the partial-recompute path disabled — isolates Algorithm
+  4's lines 27-38.
+* QUICK MOTIF across PAA widths — the summary-resolution trade-off.
+* MOEN with the cross-length bound disabled (always full refresh).
+"""
+
+import time
+
+from _common import bench_grid, save_report
+from repro.baselines.moen import MoenStats, moen
+from repro.baselines.quick_motif import quick_motif
+from repro.core.valmod import Valmod
+from _common import bench_dataset
+from repro.harness.reporting import format_table
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def test_ablation_lower_bound_pruning(benchmark):
+    grid = bench_grid()
+    series = bench_dataset("ECG", grid.default_size, seed=0)
+    l_min = grid.default_length
+    l_max = l_min + grid.default_range
+
+    def run_both():
+        pruned, t_pruned = timed(lambda: Valmod(series, l_min, l_max, p=50).run())
+        unpruned, t_unpruned = timed(
+            lambda: Valmod(series, l_min, l_max, lb_pruning=False).run()
+        )
+        return pruned, t_pruned, unpruned, t_unpruned
+
+    pruned, t_pruned, unpruned, t_unpruned = benchmark.pedantic(
+        run_both, iterations=1, rounds=1
+    )
+    save_report(
+        "ablation_lb_pruning",
+        format_table(
+            ["variant", "seconds", "full recomputes"],
+            [
+                ("VALMOD (Eq. 2 pruning)", f"{t_pruned:.2f}",
+                 pruned.stats.n_full_recomputes),
+                ("VALMOD (pruning off = STOMP/length)", f"{t_unpruned:.2f}",
+                 unpruned.stats.n_full_recomputes),
+            ],
+        ),
+    )
+    # Same motifs, and the pruned variant must win on friendly data.
+    for length in pruned.motif_pairs:
+        assert abs(
+            pruned.motif_pairs[length].distance
+            - unpruned.motif_pairs[length].distance
+        ) < 1e-6
+    assert t_pruned < t_unpruned
+
+
+def test_ablation_partial_recompute_path(benchmark):
+    grid = bench_grid()
+    series = bench_dataset("EEG", grid.default_size, seed=0)
+    l_min = grid.default_length
+    l_max = l_min + grid.default_range
+
+    def run_both():
+        with_path, t_with = timed(
+            lambda: Valmod(series, l_min, l_max, p=10).run()
+        )
+        without, t_without = timed(
+            lambda: Valmod(series, l_min, l_max, p=10, recompute_fraction=0.0).run()
+        )
+        return with_path, t_with, without, t_without
+
+    with_path, t_with, without, t_without = benchmark.pedantic(
+        run_both, iterations=1, rounds=1
+    )
+    save_report(
+        "ablation_partial_recompute",
+        format_table(
+            ["variant", "seconds", "partial", "full"],
+            [
+                ("partial recompute on", f"{t_with:.2f}",
+                 with_path.stats.n_partial_recomputes,
+                 with_path.stats.n_full_recomputes),
+                ("partial recompute off", f"{t_without:.2f}",
+                 without.stats.n_partial_recomputes,
+                 without.stats.n_full_recomputes),
+            ],
+        ),
+    )
+    for length in with_path.motif_pairs:
+        assert abs(
+            with_path.motif_pairs[length].distance
+            - without.motif_pairs[length].distance
+        ) < 1e-6
+    assert without.stats.n_partial_recomputes == 0
+    assert with_path.stats.n_full_recomputes <= without.stats.n_full_recomputes
+
+
+def test_ablation_quick_motif_paa_width(benchmark):
+    grid = bench_grid()
+    series = bench_dataset("ECG", grid.default_size, seed=0)
+    l_min = grid.default_length
+    l_max = l_min + 2
+
+    def sweep():
+        rows = []
+        for width in (2, 4, 8, 16):
+            pairs, seconds = timed(
+                lambda w=width: quick_motif(series, l_min, l_max, width=w)
+            )
+            rows.append((width, f"{seconds:.2f}", f"{pairs[l_min].distance:.4f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    save_report(
+        "ablation_quickmotif_width",
+        format_table(["PAA width", "seconds", "motif distance"], rows),
+    )
+    # Exactness does not depend on the summary width.
+    assert len({distance for _, _, distance in rows}) == 1
+
+
+def test_ablation_moen_bound(benchmark):
+    grid = bench_grid()
+    series = bench_dataset("ECG", grid.default_size, seed=0)
+    l_min = grid.default_length
+    l_max = l_min + grid.default_range
+
+    def run_both():
+        stats_on = MoenStats()
+        _, t_on = timed(
+            lambda: moen(series, l_min, l_max, refresh_fraction=0.5, stats=stats_on)
+        )
+        stats_off = MoenStats()
+        _, t_off = timed(
+            lambda: moen(series, l_min, l_max, refresh_fraction=0.0, stats=stats_off)
+        )
+        return stats_on, t_on, stats_off, t_off
+
+    stats_on, t_on, stats_off, t_off = benchmark.pedantic(
+        run_both, iterations=1, rounds=1
+    )
+    save_report(
+        "ablation_moen_bound",
+        format_table(
+            ["variant", "seconds", "full refreshes"],
+            [
+                ("MOEN (cross-length bound)", f"{t_on:.2f}", stats_on.full_refreshes),
+                ("MOEN (bound off: refresh always)", f"{t_off:.2f}",
+                 stats_off.full_refreshes),
+            ],
+        ),
+    )
+    assert stats_off.full_refreshes == len(stats_off.lengths)

@@ -1,0 +1,107 @@
+"""Engine comparison: STOMP vs STAMP vs SCRIMP vs streaming appends.
+
+Not a paper figure — an engineering bench for the matrix-profile
+substrate.  All engines must produce identical profiles; the bench
+records their relative costs and the anytime engines' convergence.
+"""
+
+import numpy as np
+import pytest
+
+from _common import bench_dataset, bench_grid, save_report
+from repro.harness.reporting import format_table
+from repro.matrixprofile import StreamingMatrixProfile, scrimp, stamp, stomp
+from repro.matrixprofile.scrimp import pre_scrimp
+
+
+@pytest.fixture(scope="module")
+def series():
+    return bench_dataset("GAP", bench_grid().default_size, seed=1)
+
+
+@pytest.fixture(scope="module")
+def length():
+    return bench_grid().default_length
+
+
+def test_engines_agree_and_compare(benchmark, series, length):
+    import time
+
+    def run_all():
+        timings = {}
+        profiles = {}
+        for name, engine in (
+            ("STOMP", stomp),
+            ("STAMP", stamp),
+            ("SCRIMP", scrimp),
+        ):
+            start = time.perf_counter()
+            profiles[name] = engine(series, length)
+            timings[name] = time.perf_counter() - start
+        start = time.perf_counter()
+        profiles["PRE-SCRIMP"] = pre_scrimp(series, length)
+        timings["PRE-SCRIMP"] = time.perf_counter() - start
+        return timings, profiles
+
+    timings, profiles = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    rows = [(name, f"{seconds:.3f}") for name, seconds in timings.items()]
+    save_report("engines_comparison", format_table(["engine", "seconds"], rows))
+
+    reference = profiles["STOMP"].profile
+    for name in ("STAMP", "SCRIMP"):
+        np.testing.assert_allclose(
+            profiles[name].profile, reference, atol=1e-6,
+            err_msg=f"{name} disagrees with STOMP",
+        )
+    # PRE-SCRIMP is an upper-bound approximation.
+    approx = profiles["PRE-SCRIMP"].profile
+    finite = np.isfinite(approx) & np.isfinite(reference)
+    assert np.all(approx[finite] >= reference[finite] - 1e-6)
+    # ... and it is the cheap one.
+    assert timings["PRE-SCRIMP"] < min(
+        timings["STOMP"], timings["STAMP"], timings["SCRIMP"]
+    )
+
+
+def test_streaming_appends(benchmark, series, length):
+    split = series.size - 256
+
+    def stream_tail():
+        monitor = StreamingMatrixProfile(series[:split], length)
+        monitor.extend(series[split:])
+        return monitor.matrix_profile()
+
+    streamed = benchmark.pedantic(stream_tail, iterations=1, rounds=1)
+    batch = stomp(series, length)
+    finite = np.isfinite(batch.profile)
+    np.testing.assert_allclose(
+        streamed.profile[finite], batch.profile[finite], atol=1e-6
+    )
+
+
+def test_anytime_convergence(benchmark, series, length):
+    exact = stomp(series, length).motif_pair().distance
+
+    def sweep():
+        rows = []
+        for fraction in (0.1, 0.25, 0.5, 1.0):
+            mp = scrimp(
+                series, length, fraction=fraction,
+                rng=np.random.default_rng(0),
+            )
+            rows.append((fraction, mp.motif_pair().distance))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    save_report(
+        "engines_anytime_convergence",
+        format_table(
+            ["diagonal fraction", "best-so-far motif distance"],
+            [(fraction, f"{d:.4f}") for fraction, d in rows],
+        )
+        + f"\nexact: {exact:.4f}",
+    )
+    distances = [d for _, d in rows]
+    # Convergence from above, exact at fraction 1.0.
+    assert distances == sorted(distances, reverse=True) or len(set(distances)) == 1
+    assert distances[-1] == pytest.approx(exact, abs=1e-6)

@@ -1,0 +1,87 @@
+"""Family-primitive extensions: chains, FLUSS, annotation, discords.
+
+Not paper figures — shape-asserted benchmarks of the Section-8-adjacent
+primitives, so regressions in the extensions fail the suite like the
+core experiments do.
+"""
+
+import numpy as np
+import pytest
+
+from _common import bench_dataset, bench_grid, save_report
+from repro.core.annotation import apply_annotation, interval_annotation
+from repro.core.chains import unanchored_chain
+from repro.core.discords import find_discords
+from repro.core.segmentation import regime_boundaries
+from repro.harness.reporting import format_table
+from repro.matrixprofile import stomp
+
+
+def test_family_primitives(benchmark):
+    grid = bench_grid()
+    length = grid.default_length
+
+    def run_all():
+        rows = []
+        rng = np.random.default_rng(0)
+
+        # Chains on a drifting pattern.
+        t = 0.1 * rng.standard_normal(grid.default_size)
+        base = np.linspace(0, 2 * np.pi, length)
+        planted = list(range(40, t.size - length, max(3 * length, t.size // 8)))
+        for k, pos in enumerate(planted):
+            t[pos : pos + length] += (
+                3 * np.sin(base * (1.0 + 0.12 * k)) * np.hanning(length)
+            )
+        chain = unanchored_chain(t, length)
+        rows.append(("unanchored chain members", len(chain)))
+
+        # FLUSS on a two-regime series.
+        half = grid.default_size
+        x = np.linspace(0, 30 * np.pi, half)
+        series = np.concatenate(
+            [np.sin(x), np.sign(np.sin(x)) * 0.8]
+        ) + 0.05 * rng.standard_normal(2 * half)
+        boundary = regime_boundaries(series, length, n_regimes=2)[0]
+        rows.append(("FLUSS boundary error", abs(boundary - half)))
+
+        # Annotation: suppress the true motif, get the runner-up.
+        ecg = bench_dataset("ECG", grid.default_size, seed=0)
+        mp = stomp(ecg, length)
+        pair = mp.motif_pair()
+        av = interval_annotation(
+            len(mp),
+            [
+                (max(0, pair.a - mp.exclusion), pair.a + mp.exclusion),
+                (max(0, pair.b - mp.exclusion), pair.b + mp.exclusion),
+            ],
+        )
+        corrected = apply_annotation(mp, av)
+        moved = corrected.motif_pair()
+        rows.append(
+            ("annotation moved motif", int(abs(moved.a - pair.a) >= mp.exclusion
+                                           or abs(moved.b - pair.b) >= mp.exclusion))
+        )
+
+        # Variable-length discords on an injected anomaly.  The anomaly
+        # must be unique in SHAPE (z-normalization removes amplitude):
+        # a chirp occurs nowhere in the generators.
+        gap = bench_dataset("GAP", grid.default_size, seed=0).copy()
+        phase = np.linspace(0.0, 1.0, length)
+        chirp = np.sin(2 * np.pi * (2 + 14 * phase) * phase) * np.hanning(length)
+        gap[500 : 500 + length] += 6 * gap.std() * chirp
+        discord = find_discords(gap, length - 4, length + 4, k=1)[0]
+        rows.append(("discord position error", abs(discord.start - 500)))
+        return rows, (chain, boundary, discord)
+
+    rows, (chain, boundary, discord) = benchmark.pedantic(
+        run_all, iterations=1, rounds=1
+    )
+    save_report(
+        "family_primitives", format_table(["primitive check", "value"], rows)
+    )
+    values = dict(rows)
+    assert values["unanchored chain members"] >= 3
+    assert values["FLUSS boundary error"] <= 4 * bench_grid().default_length
+    assert values["annotation moved motif"] == 1
+    assert values["discord position error"] <= 2 * bench_grid().default_length

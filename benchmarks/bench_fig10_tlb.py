@@ -1,0 +1,57 @@
+"""Figure 10 — tightness of the lower bound (TLB) per partial profile.
+
+The paper's protocol: average TLB of each *partial* distance profile
+(the p smallest-LB entries listDP stores) at the experiment's shortest
+and longest base lengths, on ECG and EMG.  ECG's tightness grows with
+the base length; EMG's falls behind, which is what kills its pruning in
+Figures 8-9.
+"""
+
+import numpy as np
+
+from _common import bench_dataset, bench_grid, save_report
+from repro.analysis.tlb import average_tlb_per_profile
+from repro.harness.reporting import format_table
+
+
+def test_fig10_tightness_of_lower_bound(benchmark):
+    grid = bench_grid()
+    short_base = grid.default_length
+    long_base = 4 * grid.default_length
+    step = grid.default_range
+
+    def measure():
+        rows = []
+        means = {}
+        for name in ("ECG", "EMG"):
+            series = bench_dataset(name, grid.default_size, seed=0)
+            for base in (short_base, long_base):
+                tlb = average_tlb_per_profile(
+                    series,
+                    base,
+                    base + step,
+                    n_profiles=48,
+                    top_p=grid.default_p,
+                )
+                mean = float(np.nanmean(tlb))
+                means[(name, base)] = mean
+                rows.append(
+                    (name, f"{base}->{base + step}", f"{mean:.3f}",
+                     f"{np.nanmin(tlb):.3f}", f"{np.nanmax(tlb):.3f}")
+                )
+        return rows, means
+
+    rows, means = benchmark.pedantic(measure, iterations=1, rounds=1)
+    save_report(
+        "fig10_tlb",
+        format_table(
+            ["dataset", "lengths", "mean TLB (top-p)", "min", "max"], rows
+        ),
+    )
+
+    # Paper shape: at the long base length EMG's partial-profile TLB is
+    # clearly below ECG's.
+    assert means[("EMG", long_base)] < means[("ECG", long_base)]
+    # TLB is a ratio in [0, 1] everywhere.
+    for _, _, mean, lo, hi in rows:
+        assert 0.0 <= float(lo) and float(hi) <= 1.0 + 1e-9

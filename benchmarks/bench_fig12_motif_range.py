@@ -1,0 +1,50 @@
+"""Figure 12 — scalability over the motif length range.
+
+The headline experiment: the wider the range, the more VALMOD's
+reuse-across-lengths pays off, while every per-length baseline grows
+linearly with the range width.
+"""
+
+from _common import ALGORITHMS, DATASETS, bench_dataset, bench_grid, fast_mode, save_report
+from repro.harness.experiments import sweep_motif_range
+from repro.harness.reporting import format_table
+
+
+def test_fig12_scalability_over_motif_range(benchmark):
+    grid = bench_grid()
+    datasets = DATASETS[:2] if fast_mode() else DATASETS
+    result = benchmark.pedantic(
+        lambda: sweep_motif_range(
+            datasets=datasets, algorithms=ALGORITHMS, grid=grid,
+            loader=bench_dataset,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    table = format_table(result.headers(), result.table_rows())
+    speedups = result.speedup_vs("STOMP")
+    summary = (
+        f"median VALMOD speedup vs STOMP-range: "
+        f"{sorted(speedups)[len(speedups) // 2]:.2f}x; "
+        f"max: {max(speedups):.2f}x"
+    )
+    save_report("fig12_motif_range", table + "\n\n" + summary)
+
+    assert all(not row["VALMOD"].dnf for row in result.rows)
+
+    # Paper shape: VALMOD's advantage over STOMP-range *grows* with the
+    # range width (compare the narrowest and widest sweep points).
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    growing = 0
+    for rows in by_dataset.values():
+        first, last = rows[0], rows[-1]
+        if first["STOMP"].dnf or last["STOMP"].dnf:
+            growing += 1  # STOMP DNF at wide ranges is the strongest form
+            continue
+        ratio_first = first["STOMP"].seconds / max(first["VALMOD"].seconds, 1e-9)
+        ratio_last = last["STOMP"].seconds / max(last["VALMOD"].seconds, 1e-9)
+        if ratio_last > ratio_first:
+            growing += 1
+    assert growing >= len(by_dataset) / 2

@@ -1,0 +1,40 @@
+"""Figure 13 — scalability over the data series size.
+
+Sweeps the series size with the default length and range; the paper's
+observation is that VALMOD scales gracefully with n on every dataset
+while the baselines are dataset-sensitive.
+"""
+
+from _common import ALGORITHMS, DATASETS, bench_dataset, bench_grid, fast_mode, save_report
+from repro.harness.experiments import sweep_series_size
+from repro.harness.reporting import format_table
+
+
+def test_fig13_scalability_over_series_size(benchmark):
+    grid = bench_grid()
+    datasets = DATASETS[:2] if fast_mode() else DATASETS
+    result = benchmark.pedantic(
+        lambda: sweep_series_size(
+            datasets=datasets, algorithms=ALGORITHMS, grid=grid,
+            loader=bench_dataset,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    table = format_table(result.headers(), result.table_rows())
+    save_report("fig13_series_size", table)
+
+    assert all(not row["VALMOD"].dnf for row in result.rows)
+
+    # Paper shape: VALMOD's runtime grows smoothly (no abrupt blowups):
+    # each size step at most ~quadruples the time while n at most doubles
+    # (quadratic engine + constant overheads at small sizes).
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], []).append(row)
+    for dataset, rows in by_dataset.items():
+        times = [r["VALMOD"].seconds for r in rows]
+        for earlier, later in zip(times, times[1:]):
+            assert later < 6.0 * max(earlier, 0.05), (
+                f"abrupt VALMOD blowup on {dataset}: {times}"
+            )

@@ -1,0 +1,52 @@
+"""Figure 14 — effect of the parameter p.
+
+Left plots of the figure: VALMOD runtime per p value.  Right plots:
+|subMP| per iteration (the number of exactly-known entries per length),
+which the paper shows decreasing the same way regardless of p.
+"""
+
+import numpy as np
+
+from _common import DATASETS, bench_dataset, bench_grid, fast_mode, save_report
+from repro.harness.experiments import sweep_parameter_p
+from repro.harness.reporting import format_series, format_table
+
+
+def test_fig14_effect_of_p(benchmark):
+    grid = bench_grid()
+    datasets = DATASETS[:2] if fast_mode() else DATASETS
+    rows = benchmark.pedantic(
+        lambda: sweep_parameter_p(datasets=datasets, grid=grid, loader=bench_dataset),
+        iterations=1,
+        rounds=1,
+    )
+    table = format_table(
+        ["dataset", "p", "seconds", "pure-subMP lengths", "full recomputes"],
+        [
+            (r["dataset"], r["p"], f"{r['seconds']:.2f}",
+             r["fast_lengths"], r["full_recomputes"])
+            for r in rows
+        ],
+    )
+    trajectories = "\n".join(
+        format_series(
+            f"{r['dataset']} p={r['p']}",
+            r["submp_sizes"],
+            fmt="{:.0f}",
+        )
+        for r in rows
+        if r["p"] in (5, 50, 150)
+    )
+    save_report(
+        "fig14_param_p", table + "\n\n|subMP| per iteration:\n" + trajectories
+    )
+
+    # Paper shape: increasing p gives no significant runtime advantage —
+    # the largest p must not be drastically faster than the paper default.
+    by_dataset = {}
+    for r in rows:
+        by_dataset.setdefault(r["dataset"], {})[r["p"]] = r["seconds"]
+    for dataset, times in by_dataset.items():
+        assert times[150] > 0.3 * times[50], (
+            f"unexpectedly large p-benefit on {dataset}: {times}"
+        )

@@ -1,0 +1,46 @@
+"""Figure 2 — comparing corrections for ranking different-length motifs.
+
+Prints the three distance series (raw, divide-by-l, sqrt(1/l)) over the
+length sweep and their max/min spreads; the paper's conclusion — only
+sqrt(1/l) is near-invariant — is asserted.
+"""
+
+from _common import save_report
+from repro.analysis.normalization_study import (
+    correction_spreads,
+    normalization_comparison,
+)
+from repro.datasets import trace_pair_at_lengths
+from repro.harness.reporting import format_table
+
+LENGTHS = [100, 140, 180, 220, 260, 300, 340, 380, 420, 460]
+
+
+def test_fig2_length_normalization(benchmark):
+    rows = benchmark.pedantic(
+        lambda: normalization_comparison(trace_pair_at_lengths(LENGTHS)),
+        iterations=1,
+        rounds=1,
+    )
+    spreads = correction_spreads(rows)
+
+    table = format_table(
+        ["length", "raw ED", "ED / l", "ED * sqrt(1/l)"],
+        [
+            (r.length, f"{r.raw:.4f}", f"{r.divided_by_length:.6f}",
+             f"{r.sqrt_corrected:.4f}")
+            for r in rows
+        ],
+    )
+    summary = "\n".join(
+        f"spread[{name}] = {value:.3f}" for name, value in spreads.items()
+    )
+    save_report("fig2_normalization", table + "\n\n" + summary)
+
+    # Paper shape: sqrt(1/l) nearly flat, both others visibly biased.
+    assert spreads["sqrt(1/l)"] < 1.1
+    assert spreads["none"] > 1.5
+    assert spreads["divide-by-l"] > 1.5
+    # raw is biased toward SHORT patterns, divide-by-l toward LONG ones.
+    assert rows[0].raw < rows[-1].raw
+    assert rows[0].divided_by_length > rows[-1].divided_by_length

@@ -1,0 +1,41 @@
+"""Figure 8 — scalability over the motif length l_min.
+
+Sweeps l_min over the (scaled) Table-2 grid with the default range and
+series size, for all five datasets and all four algorithms, and prints
+the same runtime matrix the paper plots.  DNF entries reproduce the
+paper's "failed to finish" bars.
+"""
+
+from _common import ALGORITHMS, DATASETS, bench_dataset, bench_grid, fast_mode, save_report
+from repro.harness.experiments import sweep_motif_length
+from repro.harness.reporting import format_table
+
+
+def test_fig8_scalability_over_motif_length(benchmark):
+    grid = bench_grid()
+    datasets = DATASETS[:2] if fast_mode() else DATASETS
+    result = benchmark.pedantic(
+        lambda: sweep_motif_length(
+            datasets=datasets, algorithms=ALGORITHMS, grid=grid,
+            loader=bench_dataset,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    table = format_table(result.headers(), result.table_rows())
+    speedups = result.speedup_vs("STOMP")
+    summary = (
+        f"median VALMOD speedup vs STOMP-range: "
+        f"{sorted(speedups)[len(speedups) // 2]:.2f}x over {len(speedups)} points"
+    )
+    save_report("fig8_motif_length", table + "\n\n" + summary)
+
+    # Paper shape: VALMOD never DNFs and beats STOMP-range overall.
+    valmod_total = sum(
+        row["VALMOD"].seconds for row in result.rows if not row["VALMOD"].dnf
+    )
+    stomp_total = sum(
+        row["STOMP"].seconds for row in result.rows if not row["STOMP"].dnf
+    )
+    assert all(not row["VALMOD"].dnf for row in result.rows)
+    assert valmod_total < 1.2 * stomp_total

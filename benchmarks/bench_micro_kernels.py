@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the computational kernels.
+
+Not a paper figure — engineering-level timings (with pytest-benchmark's
+statistics) for the primitives the figures are built from: MASS vs the
+naive profile, one STOMP row update, the Eq. 2 lower-bound kernel, and
+one ComputeSubMP step.
+"""
+
+import numpy as np
+import pytest
+
+from _common import bench_grid
+from repro.core.compute_mp import compute_matrix_profile
+from repro.core.compute_submp import compute_submp
+from repro.core.lower_bound import lower_bound_base
+from repro.distance.mass import mass
+from repro.distance.profile import naive_distance_profile
+from repro.distance.sliding import moving_mean_std, sliding_dot_product
+from _common import bench_dataset
+from repro.matrixprofile import stomp
+
+
+@pytest.fixture(scope="module")
+def series():
+    return bench_dataset("ECG", bench_grid().default_size, seed=0)
+
+
+@pytest.fixture(scope="module")
+def length():
+    return bench_grid().default_length
+
+
+def test_micro_mass(benchmark, series, length):
+    benchmark(mass, series, 100, length)
+
+
+def test_micro_naive_profile_reference(benchmark, series, length):
+    # The O(n l) reference MASS is measured against (same output).
+    short = series[:1024]
+    benchmark(naive_distance_profile, short, 100, length)
+
+
+def test_micro_sliding_dot_product(benchmark, series, length):
+    query = series[:length]
+    benchmark(sliding_dot_product, query, series)
+
+
+def test_micro_moving_stats(benchmark, series, length):
+    benchmark(moving_mean_std, series, length)
+
+
+def test_micro_lower_bound_kernel(benchmark, series, length):
+    rng = np.random.default_rng(0)
+    correlations = rng.uniform(-1, 1, series.size - length + 1)
+    benchmark(lower_bound_base, correlations, length, 1.0)
+
+
+def test_micro_full_stomp(benchmark, series, length):
+    benchmark.pedantic(stomp, args=(series, length), iterations=1, rounds=3)
+
+
+def test_micro_compute_mp_with_listdp(benchmark, series, length):
+    benchmark.pedantic(
+        compute_matrix_profile, args=(series, length, 50), iterations=1, rounds=3
+    )
+
+
+def test_micro_compute_submp_step(benchmark, series, length):
+    def one_step():
+        _, store = compute_matrix_profile(series, length, 50)
+        return compute_submp(series, store, length + 1)
+
+    result = benchmark.pedantic(one_step, iterations=1, rounds=3)
+    assert result.sub_profile.size == series.size - length

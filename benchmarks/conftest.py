@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _common module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,80 @@
+"""Entomology case study (paper Section 9.1 / Figure 1), reproduced.
+
+The paper records an insect's Electrical Penetration Graph and shows
+that the top motif *changes meaning* with the search length: a complex
+probing pattern at ~10 s versus a simple sucking rhythm at ~12 s.  A
+fixed-length search at either length would have missed the other
+behaviour entirely.
+
+We reproduce the situation with the EPG-like generator, which plants a
+probing behaviour (length 200) and an ingestion behaviour (length 240),
+then run one VALMOD search across the whole range and check that the
+motifs found at the two scales land on the two different behaviours.
+
+Run:  python examples/entomology_case_study.py
+"""
+
+from repro import Valmod
+from repro.datasets import generate_epg
+
+
+def behaviour_of(offset: int, truth, tolerance: int = 40) -> str:
+    """Which planted behaviour (if any) an offset falls into."""
+    for pos in truth.probing_positions:
+        if abs(offset - pos) <= tolerance:
+            return "probing"
+    for pos in truth.ingestion_positions:
+        if abs(offset - pos) <= tolerance:
+            return "ingestion"
+    return "background"
+
+
+def main() -> None:
+    # Scaled-down version of the case study's 205,000 points; the
+    # behaviours keep the 10s-vs-12s duration ratio (100 vs 125 samples).
+    series, truth = generate_epg(
+        n=6000, seed=7, probing_length=100, ingestion_length=125
+    )
+    print(
+        f"EPG-like recording: {series.size} points; planted "
+        f"probing@{truth.probing_positions} (len {truth.probing_length}), "
+        f"ingestion@{truth.ingestion_positions} (len {truth.ingestion_length})"
+    )
+
+    run = Valmod(
+        series,
+        l_min=truth.probing_length - 8,
+        l_max=truth.ingestion_length + 8,
+        p=50,
+    ).run()
+    print(f"VALMOD over [{run.l_min}, {run.l_max}]: {run.stats.summary()}")
+
+    short_pair = run.motif_pairs[truth.probing_length]
+    long_pair = run.motif_pairs[truth.ingestion_length]
+    short_kind = (
+        behaviour_of(short_pair.a, truth),
+        behaviour_of(short_pair.b, truth),
+    )
+    long_kind = (
+        behaviour_of(long_pair.a, truth),
+        behaviour_of(long_pair.b, truth),
+    )
+    print(
+        f"\nmotif at length {truth.probing_length}: "
+        f"({short_pair.a}, {short_pair.b}) -> {short_kind}"
+    )
+    print(
+        f"motif at length {truth.ingestion_length}: "
+        f"({long_pair.a}, {long_pair.b}) -> {long_kind}"
+    )
+
+    assert set(short_kind) == {"probing"}, "short motif should be the probing behaviour"
+    assert set(long_kind) == {"ingestion"}, "long motif should be the ingestion behaviour"
+    print(
+        "\nOK: the two lengths surface two semantically different behaviours —\n"
+        "a fixed-length search would have reported only one of them (Figure 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

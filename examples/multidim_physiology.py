@@ -1,0 +1,80 @@
+"""Multidimensional motifs on driver-physiology-like channels.
+
+The stress-recognition study behind the paper's ECG and EMG datasets
+recorded several physiological channels at once.  A stress episode
+expresses in a *subset* of channels — and you don't know which subset,
+or its size, in advance.  mSTAMP answers all k at once: this example
+builds three channels (ECG-like, EMG-like, and an uncorrelated
+respiration-like wave), plants a joint episode in exactly two of them,
+and shows that (a) the 2-dimensional motif finds the episode and names
+the two right channels, while (b) forcing all 3 dimensions dilutes it.
+
+Run:  python examples/multidim_physiology.py
+"""
+
+import numpy as np
+
+from repro.datasets import generate_ecg, generate_emg
+from repro.multidim import multidim_motifs
+from repro.viz import motif_view
+
+CHANNELS = ("ECG", "EMG", "RESP")
+EPISODE = 80
+
+
+def build_channels(n=3000, seed=21):
+    rng = np.random.default_rng(seed)
+    ecg = generate_ecg(n, seed=seed, beat_length=40)
+    emg = generate_emg(n, seed=seed + 1)
+    # Respiration with wandering rate: realistic, and crucially NOT a
+    # pure sinusoid (a perfectly periodic channel would dominate every
+    # k with trivial self-matches).
+    rate = 1.0 + 0.35 * np.cumsum(rng.standard_normal(n)) / np.sqrt(n)
+    resp = np.sin(2 * np.pi * np.cumsum(rate) / 120.0)
+    resp = resp + 0.15 * rng.standard_normal(n)
+    data = np.vstack([ecg / ecg.std(), emg / emg.std(), resp / resp.std()])
+    # The "stress episode": a shared arousal pattern in ECG and EMG only.
+    phase = np.linspace(0, 1, EPISODE)
+    episode = (
+        np.sin(2 * np.pi * (3 + 5 * phase) * phase) * np.hanning(EPISODE) * 8.0
+    )
+    positions = (700, 2100)
+    for pos in positions:
+        data[0, pos : pos + EPISODE] += episode
+        data[1, pos : pos + EPISODE] += episode * 0.95
+    return data, positions
+
+
+def main() -> None:
+    data, positions = build_channels()
+    print(f"3 channels x {data.shape[1]} points; joint episode planted in "
+          f"ECG+EMG at {positions}")
+
+    motifs = multidim_motifs(data, EPISODE)
+    for motif in motifs:
+        names = ", ".join(CHANNELS[d] for d in motif.dimensions)
+        print(
+            f"k={motif.k}: pair=({motif.a}, {motif.b}) "
+            f"mean distance={motif.distance:.3f}  channels=[{names}]"
+        )
+
+    two_dim = motifs[1]
+    assert {CHANNELS[d] for d in two_dim.dimensions} == {"ECG", "EMG"}, (
+        "the 2-dim motif should name the two episode channels"
+    )
+    assert min(abs(two_dim.a - p) for p in positions) <= 12
+    assert min(abs(two_dim.b - p) for p in positions) <= 12
+    assert motifs[2].distance > two_dim.distance, (
+        "forcing the uninvolved channel must dilute the motif"
+    )
+
+    print("\nepisode occurrences on the ECG channel:")
+    print(motif_view(data[0], [two_dim.a, two_dim.b], EPISODE, width=100))
+    print(
+        "\nOK: the 2-dimensional motif recovered the episode and its "
+        "channels; k=3 dilutes it — the all-k answer mSTAMP gives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: discover variable-length motifs in a synthetic series.
+
+Plants two copies of a wave pattern into noise, runs VALMOD over a length
+range bracketing the pattern, and shows that (a) the per-length motif
+pairs locate the planted copies and (b) the length-normalized ranking
+surfaces the planted length near the top.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Valmod, top_motifs_across_lengths
+from repro.datasets import plant_motifs
+
+PATTERN_LENGTH = 96
+SERIES_LENGTH = 4000
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # Lightly smoothed noise: realistic sensor texture (white noise is
+    # the adversarial worst case for every pruning-based algorithm).
+    raw = rng.standard_normal(SERIES_LENGTH + 4)
+    background = np.convolve(raw, np.ones(5) / 5.0, mode="valid")
+    pattern = np.sin(np.linspace(0, 6 * np.pi, PATTERN_LENGTH)) * np.hanning(
+        PATTERN_LENGTH
+    )
+    planted = plant_motifs(
+        background, pattern, count=2, scale=4.0, amplitude_jitter=0.05, rng=rng
+    )
+    print(f"planted two copies of a {PATTERN_LENGTH}-point pattern "
+          f"at {planted.positions}")
+
+    run = Valmod(
+        planted.series,
+        l_min=PATTERN_LENGTH - 16,
+        l_max=PATTERN_LENGTH + 16,
+        p=50,
+    ).run()
+    print(f"VALMOD: {run.stats.summary()}")
+
+    planted_gap = planted.positions[1] - planted.positions[0]
+
+    def is_planted(pair) -> bool:
+        # The pair is the planted motif when its two windows overlap the
+        # two copies *and* share the copies' exact relative alignment
+        # (discovery may phase-shift both windows identically).
+        overlap = planted.hit(pair.a, tolerance=PATTERN_LENGTH) and planted.hit(
+            pair.b, tolerance=PATTERN_LENGTH
+        )
+        aligned = abs((pair.b - pair.a) - planted_gap) <= 4
+        return overlap and aligned
+
+    print("\ntop motifs across lengths (normalized-distance ranked):")
+    for pair in top_motifs_across_lengths(run.motif_pairs, k=3):
+        print(
+            f"  length={pair.length:3d}  pair=({pair.a}, {pair.b})  "
+            f"norm_dist={pair.normalized_distance:.4f}  "
+            f"is planted motif: {is_planted(pair)}"
+        )
+
+    best = run.best_motif_pair()
+    assert is_planted(best), (
+        "the best variable-length motif should be the planted pattern"
+    )
+    print("\nOK: the best variable-length motif is the planted pattern.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Regime segmentation and drift chains — the matrix-profile family tour.
+
+Two sibling primitives of the family VALMOD belongs to ("Matrix Profile
+X"), applied to one scenario: a machine whose vibration signature first
+runs in a healthy regime, then degrades *gradually* (a drifting pattern
+— a time-series chain), then fails into a distinct faulty regime.
+
+* FLUSS segmentation finds the healthy/faulty boundary from the arc
+  curve of the matrix-profile index.
+* The unanchored chain tracks the gradual degradation inside the
+  healthy regime — something motif discovery alone cannot express,
+  because consecutive chain members are similar but the endpoints are
+  not.
+
+Run:  python examples/regime_and_drift_analysis.py
+"""
+
+import numpy as np
+
+from repro import fluss, regime_boundaries, unanchored_chain
+from repro.viz import motif_view, sparkline
+
+PATTERN = 60
+
+
+def build_scenario(seed: int = 12):
+    rng = np.random.default_rng(seed)
+    healthy_len = 1400
+    base = np.linspace(0, 2 * np.pi, PATTERN)
+    healthy = 0.1 * rng.standard_normal(healthy_len)
+    drift_positions = list(range(60, healthy_len - PATTERN, 190))
+    for k, pos in enumerate(drift_positions):
+        warp = 1.0 + 0.15 * k  # the signature slowly deforms
+        healthy[pos : pos + PATTERN] += 3 * np.sin(base * warp) * np.hanning(PATTERN)
+    x = np.arange(900)
+    faulty = 0.8 * np.sign(np.sin(2 * np.pi * x / 45)) + 0.2 * rng.standard_normal(900)
+    return np.concatenate([healthy, faulty]), healthy_len, drift_positions
+
+
+def main() -> None:
+    series, true_boundary, drift_positions = build_scenario()
+    print(f"scenario: {series.size} points, regime change at {true_boundary}")
+    print(sparkline(series, width=100))
+
+    # -- 1. where does the behaviour change? ---------------------------
+    boundaries = regime_boundaries(series, PATTERN, n_regimes=2)
+    cac = fluss(series, PATTERN)
+    print(f"\nFLUSS boundary estimate: {boundaries[0]} "
+          f"(true {true_boundary}, CAC min {cac.min():.3f})")
+    assert abs(boundaries[0] - true_boundary) <= 150
+
+    # -- 2. how is the healthy signature evolving? ---------------------
+    healthy = series[:true_boundary]
+    chain = unanchored_chain(healthy, PATTERN)
+    print(
+        f"\nunanchored chain: {len(chain)} members spanning "
+        f"{chain.span} points:"
+    )
+    print(motif_view(healthy, chain.members, PATTERN, width=100))
+    hits = sum(
+        1 for member in chain.members
+        if any(abs(member - pos) <= 45 for pos in drift_positions)
+    )
+    assert len(chain) >= 4
+    assert hits >= len(chain) - 1
+    print(
+        "\nOK: FLUSS located the regime change and the chain tracked the "
+        "gradual drift inside the healthy regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

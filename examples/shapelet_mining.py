@@ -1,0 +1,60 @@
+"""Shapelet mining on labeled series — the paper's Section-8 outlook.
+
+The paper names shapelet discovery as a key application that an
+all-lengths matrix profile unlocks.  This example builds a two-class
+collection (smooth "bump" devices vs sharp "sawtooth" devices, planted
+at random positions in noise), uses VALMOD motifs as shapelet candidates
+at *whatever length they occur*, and classifies held-out series.
+
+Run:  python examples/shapelet_mining.py
+"""
+
+import numpy as np
+
+from repro.shapelets import ShapeletClassifier
+from repro.viz import sparkline
+
+
+def make_collection(n_per_class, n_points, seed):
+    rng = np.random.default_rng(seed)
+    bump = np.hanning(40) * 3.0
+    x = np.arange(40)
+    sawtooth = 3.0 * ((x % 10) / 5.0 - 1.0)
+    series, labels = [], []
+    for _ in range(n_per_class):
+        for pattern, label in ((bump, "bump-device"), (sawtooth, "saw-device")):
+            t = rng.standard_normal(n_points) * 0.5
+            pos = int(rng.integers(0, n_points - 40))
+            t[pos : pos + 40] += pattern
+            series.append(t)
+            labels.append(label)
+    return series, labels
+
+
+def main() -> None:
+    train_series, train_labels = make_collection(5, 300, seed=1)
+    test_series, test_labels = make_collection(4, 300, seed=2)
+    print(
+        f"training on {len(train_series)} labeled series, "
+        f"testing on {len(test_series)}"
+    )
+
+    clf = ShapeletClassifier(l_min=36, l_max=44, n_shapelets=2, strategy="motif")
+    clf.fit(train_series, train_labels)
+
+    print("\ndiscovered shapelets (candidates came from VALMOD motifs):")
+    for shapelet in clf.shapelets_:
+        print(
+            f"  length={shapelet.length} gain={shapelet.gain:.3f} "
+            f"threshold={shapelet.threshold:.3f}"
+        )
+        print(f"  shape: {sparkline(shapelet.values, width=shapelet.length)}")
+
+    accuracy = clf.score(test_series, test_labels)
+    print(f"\nheld-out accuracy: {accuracy:.0%}")
+    assert accuracy >= 0.75, "shapelets should separate the two device classes"
+    print("OK: motif-driven shapelets classify the held-out series.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Streaming motif/anomaly monitoring with the incremental matrix profile.
+
+The paper's industrial motivation (AspenTech's precursor search) is a
+monitoring setting: data arrives continuously and the analyst wants the
+current motif and the current most-anomalous window *at all times*,
+without recomputing from scratch.  This example streams an ECG-like feed
+point by point into a :class:`StreamingMatrixProfile`, then injects an
+anomalous run and shows the discord jumping to it.
+
+Run:  python examples/streaming_monitoring.py
+"""
+
+import numpy as np
+
+from repro import StreamingMatrixProfile, stomp
+from repro.datasets import generate_ecg
+from repro.viz import profile_view
+
+BEAT = 60
+
+
+def main() -> None:
+    feed = generate_ecg(3000, seed=3, beat_length=BEAT)
+    warmup, live = feed[:2000], feed[2000:]
+
+    monitor = StreamingMatrixProfile(warmup, length=BEAT)
+    print(f"warmed up on {len(warmup)} points; streaming {len(live)} more...")
+
+    for value in live:
+        monitor.append(float(value))
+    mp = monitor.matrix_profile()
+
+    # The incremental state must equal a from-scratch computation.
+    batch = stomp(monitor.series(), BEAT)
+    finite = np.isfinite(batch.profile)
+    assert np.allclose(mp.profile[finite], batch.profile[finite], atol=1e-6)
+    print("incremental profile == batch profile: verified")
+    print(profile_view(mp.profile, label="matrix profile"))
+
+    motif = mp.motif_pair()
+    print(f"\ncurrent motif: pair=({motif.a}, {motif.b}) "
+          f"distance={motif.distance:.3f}")
+
+    # Now stream an anomalous run and watch the discord move onto it.
+    rng = np.random.default_rng(9)
+    anomaly_start = len(monitor)
+    for i in range(BEAT):
+        monitor.append(float(3.0 * rng.standard_normal() + (-1) ** i))
+    for value in generate_ecg(200, seed=4, beat_length=BEAT):
+        monitor.append(float(value))
+
+    discords = monitor.matrix_profile().discords(k=1)
+    print(f"\nanomaly injected at {anomaly_start}; top discord at {discords[0]}")
+    assert abs(discords[0] - anomaly_start) <= 2 * BEAT, (
+        "the streaming discord should land on the injected anomaly"
+    )
+    print("OK: the monitor flagged the anomalous run as it streamed in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Analysis instruments behind the paper's explanatory figures.
+
+* :mod:`repro.analysis.stats` — dataset characteristics (Table 1)
+* :mod:`repro.analysis.normalization_study` — distance corrections vs
+  pattern length (Figure 2)
+* :mod:`repro.analysis.ranking_study` — (non-)preservation of distance
+  profile rankings across lengths (Figures 3-4)
+* :mod:`repro.analysis.pruning` — maxLB - minDist pruning margins
+  (Figure 9)
+* :mod:`repro.analysis.tlb` — tightness of the lower bound (Figure 10)
+* :mod:`repro.analysis.distances` — pairwise-distance distributions
+  (Figure 11)
+"""
+
+from repro.analysis.stats import dataset_statistics, SeriesStatistics
+from repro.analysis.tlb import average_tlb_per_profile
+from repro.analysis.pruning import pruning_margins
+from repro.analysis.distances import pairwise_distance_sample, distance_histogram
+from repro.analysis.normalization_study import normalization_comparison
+from repro.analysis.ranking_study import (
+    distance_rank_agreement,
+    lower_bound_rank_agreement,
+)
+
+__all__ = [
+    "dataset_statistics",
+    "SeriesStatistics",
+    "average_tlb_per_profile",
+    "pruning_margins",
+    "pairwise_distance_sample",
+    "distance_histogram",
+    "normalization_comparison",
+    "distance_rank_agreement",
+    "lower_bound_rank_agreement",
+]

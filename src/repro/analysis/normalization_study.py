@@ -1,0 +1,77 @@
+"""Length-normalization comparison — Figure 2.
+
+Renders the same prototype-pattern pair at a sweep of lengths (the
+paper's TRACE down-sampling protocol) and compares three candidate
+corrections of the z-normalized Euclidean distance:
+
+* ``none``            — raw distance, biased toward *short* patterns;
+* ``divide-by-l``     — biased toward *long* patterns;
+* ``sqrt(1/l)``       — the paper's correction, approximately invariant.
+
+The figure of merit is the relative spread (max/min ratio) of each
+corrected distance across the length sweep: the flatter, the better.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["NormalizationRow", "normalization_comparison", "correction_spreads"]
+
+
+@dataclass(frozen=True)
+class NormalizationRow:
+    """Distances between one pattern pair at one length."""
+
+    length: int
+    raw: float
+    divided_by_length: float
+    sqrt_corrected: float
+
+
+def normalization_comparison(
+    pattern_pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> List[NormalizationRow]:
+    """One row per (pattern, pattern) pair; pairs must share a length."""
+    rows: List[NormalizationRow] = []
+    for a, b in pattern_pairs:
+        if len(a) != len(b):
+            raise InvalidParameterError(
+                f"pattern pair lengths differ: {len(a)} vs {len(b)}"
+            )
+        length = len(a)
+        raw = znormalized_distance(a, b)
+        rows.append(
+            NormalizationRow(
+                length=length,
+                raw=raw,
+                divided_by_length=raw / length,
+                sqrt_corrected=raw * math.sqrt(1.0 / length),
+            )
+        )
+    return rows
+
+
+def correction_spreads(rows: Sequence[NormalizationRow]) -> Dict[str, float]:
+    """Max/min ratio of each correction over the sweep (1.0 = invariant)."""
+    if not rows:
+        raise InvalidParameterError("no rows to summarize")
+
+    def spread(values: List[float]) -> float:
+        finite = [v for v in values if v > 0]
+        if not finite:
+            return float("inf")
+        return max(finite) / min(finite)
+
+    return {
+        "none": spread([r.raw for r in rows]),
+        "divide-by-l": spread([r.divided_by_length for r in rows]),
+        "sqrt(1/l)": spread([r.sqrt_corrected for r in rows]),
+    }

@@ -1,0 +1,75 @@
+"""Distance-profile ranking stability — Figures 3 and 4.
+
+The observation motivating VALMOD's lower bound: the ranking of a
+*distance* profile can change as the subsequence length grows (Figure 4
+top: the nearest neighbor of T[33] flips from T[97] to T[1] at length
+19), while the ranking of the *lower-bound* profile provably cannot
+(Figure 4 bottom).  These helpers quantify both claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lower_bound import lower_bound_profile
+from repro.distance.mass import mass
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+__all__ = ["distance_rank_agreement", "lower_bound_rank_agreement"]
+
+
+def _top_set(values: np.ndarray, owner: int, length: int, top: int) -> set:
+    """Offsets of the ``top`` smallest non-trivial entries."""
+    zone = exclusion_zone_half_width(length)
+    masked = values.copy()
+    lo = max(0, owner - zone + 1)
+    hi = min(masked.size, owner + zone)
+    masked[lo:hi] = np.inf
+    order = np.argsort(masked, kind="stable")
+    return set(int(i) for i in order[:top])
+
+
+def distance_rank_agreement(
+    series: np.ndarray, owner: int, length: int, k: int, top: int = 10
+) -> float:
+    """Overlap of the top entries of the true profiles at l and l+k.
+
+    1.0 means the nearest-neighbor ranking survived the length change
+    intact; values below 1 are the rank churn of Figure 4 (top).
+    """
+    t = as_series(series, min_length=16)
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    n_target = t.size - (length + k) + 1
+    if owner >= n_target:
+        raise InvalidParameterError("owner has no subsequence at the target length")
+    short = mass(t, owner, length)[:n_target]
+    long_ = mass(t, owner, length + k)
+    set_short = _top_set(short, owner, length + k, top)
+    set_long = _top_set(long_, owner, length + k, top)
+    return len(set_short & set_long) / float(top)
+
+
+def lower_bound_rank_agreement(
+    series: np.ndarray, owner: int, length: int, k1: int, k2: int, top: int = 10
+) -> float:
+    """Overlap of the top LB-profile entries at two different horizons.
+
+    By the rank-preservation property this is exactly 1.0 for any
+    ``k1, k2`` — the property test in ``tests/test_lower_bound.py``
+    asserts it, and Figure 4 (bottom) illustrates it.
+    """
+    t = as_series(series, min_length=16)
+    if min(k1, k2) < 0:
+        raise InvalidParameterError("horizons must be non-negative")
+    far = max(k1, k2)
+    n_target = t.size - (length + far) + 1
+    if owner >= n_target:
+        raise InvalidParameterError("owner has no subsequence at the far horizon")
+    lb1 = lower_bound_profile(t, owner, length, k1)[:n_target]
+    lb2 = lower_bound_profile(t, owner, length, k2)[:n_target]
+    set1 = _top_set(lb1, owner, length + far, top)
+    set2 = _top_set(lb2, owner, length + far, top)
+    return len(set1 & set2) / float(top)

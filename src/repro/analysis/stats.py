@@ -1,0 +1,41 @@
+"""Series statistics — the columns of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.znorm import as_series
+
+__all__ = ["SeriesStatistics", "dataset_statistics"]
+
+
+@dataclass(frozen=True)
+class SeriesStatistics:
+    """min / max / mean / std / number of points of one series."""
+
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    n_points: int
+
+    def row(self) -> str:
+        """Render as a Table-1-style row."""
+        return (
+            f"{self.minimum:>12.5g} {self.maximum:>12.5g} "
+            f"{self.mean:>12.5g} {self.std:>12.5g} {self.n_points:>12d}"
+        )
+
+
+def dataset_statistics(series: np.ndarray) -> SeriesStatistics:
+    """Compute the Table-1 statistics of a series."""
+    t = as_series(series, min_length=2)
+    return SeriesStatistics(
+        minimum=float(t.min()),
+        maximum=float(t.max()),
+        mean=float(t.mean()),
+        std=float(t.std()),
+        n_points=int(t.size),
+    )

@@ -1,0 +1,40 @@
+"""Baselines the paper compares VALMOD against (Section 6.1).
+
+* :func:`repro.baselines.brute_force.brute_force_variable_length_motifs` —
+  exhaustive ground truth for Problem 1.
+* :func:`repro.baselines.stomp_range.stomp_range` — STOMP run
+  independently per length ("adapted to find all the motifs for a given
+  subsequence length range").
+* :func:`repro.baselines.moen.moen` — MOEN (Mueen 2013): per-length exact
+  motif discovery with a multiplicative cross-length lower bound.
+* :func:`repro.baselines.quick_motif.quick_motif` — QUICK MOTIF (Li et
+  al. 2015): PAA summaries packed into Hilbert-ordered MBRs, best-first
+  exact refinement, run per length.
+
+All four return exact per-length motif pairs; they differ (by design) in
+how much work they do — that difference is what Figures 8, 12 and 13
+measure.
+"""
+
+from repro.baselines.brute_force import brute_force_variable_length_motifs
+from repro.baselines.stomp_range import stomp_range
+from repro.baselines.moen import moen
+from repro.baselines.quick_motif import quick_motif
+from repro.baselines.paa import paa_transform, paa_lower_bound_factor
+from repro.baselines.sax import sax_transform, sax_words, mindist
+from repro.baselines.grammar_motif import grammar_motifs
+from repro.baselines.mk import mk_motif
+
+__all__ = [
+    "brute_force_variable_length_motifs",
+    "stomp_range",
+    "moen",
+    "quick_motif",
+    "paa_transform",
+    "paa_lower_bound_factor",
+    "sax_transform",
+    "sax_words",
+    "mindist",
+    "grammar_motifs",
+    "mk_motif",
+]

@@ -1,0 +1,30 @@
+"""Exhaustive variable-length motif discovery — the test oracle.
+
+The "obvious brute-force solution, which tests all lengths within a given
+range" that the paper's introduction declares computationally untenable.
+It is: O((l_max - l_min) n^2 l).  We keep it because it is trivially
+correct, which makes it the ground truth for every integration test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.distance.znorm import as_series
+from repro.matrixprofile.brute import brute_force_matrix_profile
+from repro.types import MotifPair
+
+__all__ = ["brute_force_variable_length_motifs"]
+
+
+def brute_force_variable_length_motifs(
+    series: np.ndarray, l_min: int, l_max: int
+) -> Dict[int, MotifPair]:
+    """Exact motif pair for every length in ``[l_min, l_max]``, exhaustively."""
+    t = as_series(series, min_length=8)
+    result: Dict[int, MotifPair] = {}
+    for length in range(l_min, l_max + 1):
+        result[length] = brute_force_matrix_profile(t, length).motif_pair()
+    return result

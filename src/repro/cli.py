@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro`` / the ``valmod`` script.
+
+Subcommands
+-----------
+``motifs``   run VALMOD on a CSV file or a named synthetic dataset and
+             print the ranked variable-length motifs.
+``sets``     run the full Problem-2 pipeline (VALMOD + motif sets).
+``datasets`` list the synthetic dataset families and their statistics.
+``bench``    run one of the figure sweeps at a small scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import dataset_statistics
+from repro.core.motif_sets import find_motif_sets, motif_set_summary
+from repro.core.ranking import top_motifs_across_lengths
+from repro.core.valmod import DEFAULT_P, Valmod
+from repro.datasets.registry import DATASET_NAMES, dataset_spec, load_dataset
+from repro.exceptions import ReproError
+from repro.harness.config import default_grid
+from repro.harness.experiments import (
+    sweep_motif_length,
+    sweep_motif_range,
+    sweep_series_size,
+)
+from repro.harness.reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_series(args: argparse.Namespace) -> np.ndarray:
+    if args.csv is not None:
+        return np.loadtxt(args.csv, dtype=np.float64, delimiter=args.delimiter)
+    return load_dataset(args.dataset, args.points, seed=args.seed)
+
+
+def _add_series_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--csv", help="one-column CSV/text file with the series")
+    source.add_argument(
+        "--dataset",
+        default="ECG",
+        choices=list(DATASET_NAMES),
+        help="synthetic dataset family (default ECG)",
+    )
+    parser.add_argument("--delimiter", default=None, help="CSV delimiter")
+    parser.add_argument("--points", type=int, default=8000, help="synthetic size")
+    parser.add_argument("--seed", type=int, default=0, help="synthetic seed")
+    parser.add_argument("--l-min", type=int, default=64, dest="l_min")
+    parser.add_argument("--l-max", type=int, default=96, dest="l_max")
+    parser.add_argument("--p", type=int, default=DEFAULT_P)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="valmod",
+        description="VALMOD: variable-length motif discovery (SIGMOD 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    motifs = sub.add_parser("motifs", help="discover ranked variable-length motifs")
+    _add_series_arguments(motifs)
+    motifs.add_argument("--top", type=int, default=5, help="motifs to print")
+    motifs.add_argument("--export", help="write the full result to this JSON file")
+
+    discords = sub.add_parser(
+        "discords", help="discover ranked variable-length discords (anomalies)"
+    )
+    _add_series_arguments(discords)
+    discords.add_argument("--top", type=int, default=3, help="discords to print")
+
+    sets = sub.add_parser("sets", help="discover variable-length motif sets")
+    _add_series_arguments(sets)
+    sets.add_argument("--k", type=int, default=10, help="top-K pairs to extend")
+    sets.add_argument("--radius-factor", type=float, default=3.0, dest="radius_factor")
+
+    segment = sub.add_parser(
+        "segment", help="FLUSS semantic segmentation (regime boundaries)"
+    )
+    _add_series_arguments(segment)
+    segment.add_argument(
+        "--regimes", type=int, default=2, help="number of regimes to split into"
+    )
+
+    snippets = sub.add_parser(
+        "snippets", help="representative subsequences summarizing the series"
+    )
+    _add_series_arguments(snippets)
+    snippets.add_argument("--k", type=int, default=2, help="snippets to extract")
+
+    sub.add_parser("datasets", help="list synthetic dataset families")
+
+    bench = sub.add_parser("bench", help="run one scalability sweep")
+    bench.add_argument(
+        "figure",
+        choices=["fig8", "fig12", "fig13"],
+        help="which figure's sweep to run",
+    )
+    bench.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["ECG", "EMG"],
+        choices=list(DATASET_NAMES),
+    )
+    bench.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["VALMOD", "STOMP"],
+        choices=["VALMOD", "STOMP", "MOEN", "QUICKMOTIF"],
+    )
+    return parser
+
+
+def _cmd_motifs(args: argparse.Namespace) -> int:
+    series = _load_series(args)
+    run = Valmod(series, args.l_min, args.l_max, p=args.p).run()
+    print(f"# processed {len(run.motif_pairs)} lengths; {run.stats.summary()}")
+    rows = [
+        (pair.length, pair.a, pair.b, f"{pair.distance:.4f}",
+         f"{pair.normalized_distance:.4f}")
+        for pair in top_motifs_across_lengths(run.motif_pairs, args.top)
+    ]
+    print(format_table(["length", "a", "b", "distance", "normalized"], rows))
+    if getattr(args, "export", None):
+        from repro.io import save_result_json
+
+        save_result_json(args.export, run)
+        print(f"# full result written to {args.export}")
+    return 0
+
+
+def _cmd_discords(args: argparse.Namespace) -> int:
+    from repro.core.discords import find_discords
+
+    series = _load_series(args)
+    discords = find_discords(series, args.l_min, args.l_max, k=args.top)
+    rows = [
+        (d.length, d.start, f"{d.distance:.4f}", f"{d.normalized_distance:.4f}")
+        for d in discords
+    ]
+    print(format_table(["length", "start", "distance", "normalized"], rows))
+    return 0
+
+
+def _cmd_sets(args: argparse.Namespace) -> int:
+    series = _load_series(args)
+    sets = find_motif_sets(
+        series, args.l_min, args.l_max, k=args.k,
+        radius_factor=args.radius_factor, p=args.p,
+    )
+    print(f"# {len(sets)} motif sets")
+    for motif_set in sets:
+        print(motif_set_summary(motif_set))
+    return 0
+
+
+def _cmd_segment(args: argparse.Namespace) -> int:
+    from repro.core.segmentation import fluss, regime_boundaries
+
+    series = _load_series(args)
+    boundaries = regime_boundaries(series, args.l_min, n_regimes=args.regimes)
+    cac = fluss(series, args.l_min)
+    print(f"# corrected arc curve minimum: {cac.min():.4f}")
+    rows = [(i + 1, b, f"{cac[b]:.4f}") for i, b in enumerate(boundaries)]
+    print(format_table(["boundary", "position", "CAC"], rows))
+    return 0
+
+
+def _cmd_snippets(args: argparse.Namespace) -> int:
+    from repro.multiseries import find_snippets
+
+    series = _load_series(args)
+    snippets, _ = find_snippets(series, args.l_min, k=args.k)
+    rows = [
+        (i, s.start, s.length, f"{s.coverage_fraction:.1%}")
+        for i, s in enumerate(snippets)
+    ]
+    print(format_table(["snippet", "start", "length", "coverage"], rows))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        spec = dataset_spec(name)
+        stats = dataset_statistics(load_dataset(name, 8000, seed=0))
+        rows.append(
+            (name, spec.description, f"{stats.mean:.4g}", f"{stats.std:.4g}")
+        )
+    print(format_table(["name", "structure", "mean", "std"], rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    grid = default_grid()
+    sweeps = {
+        "fig8": sweep_motif_length,
+        "fig12": sweep_motif_range,
+        "fig13": sweep_series_size,
+    }
+    result = sweeps[args.figure](
+        datasets=args.datasets, algorithms=args.algorithms, grid=grid
+    )
+    print(format_table(result.headers(), result.table_rows()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "motifs": _cmd_motifs,
+        "discords": _cmd_discords,
+        "sets": _cmd_sets,
+        "segment": _cmd_segment,
+        "snippets": _cmd_snippets,
+        "datasets": _cmd_datasets,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

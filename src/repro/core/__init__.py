@@ -1,0 +1,48 @@
+"""VALMOD core: the paper's contribution.
+
+Modules
+-------
+:mod:`repro.core.lower_bound`
+    The lower-bounding z-normalized distance of Eq. 1-2 and the
+    lower-bound distance profile (Section 4.1).
+:mod:`repro.core.entries`
+    ``listDP``: the per-profile store of the p best lower-bound entries,
+    vectorized over all profiles.
+:mod:`repro.core.compute_mp`
+    Algorithm 3 — STOMP extended with lower-bound bookkeeping.
+:mod:`repro.core.compute_submp`
+    Algorithm 4 — the partial matrix profile for subsequent lengths.
+:mod:`repro.core.valmp`
+    Algorithm 2 — the variable-length matrix profile output structure.
+:mod:`repro.core.valmod`
+    Algorithm 1 — the VALMOD driver.
+:mod:`repro.core.motif_sets`
+    Algorithms 5-6 — top-K variable-length motif sets.
+:mod:`repro.core.ranking`
+    Length-normalized ranking utilities (Section 3).
+"""
+
+from repro.core.lower_bound import (
+    lower_bound_base,
+    lower_bound_distance,
+    lower_bound_profile,
+    tightness_of_lower_bound,
+)
+from repro.core.valmp import VALMP
+from repro.core.valmod import Valmod, ValmodResult, valmod
+from repro.core.motif_sets import find_motif_sets
+from repro.core.ranking import rank_motif_pairs, top_motifs_across_lengths
+
+__all__ = [
+    "lower_bound_base",
+    "lower_bound_distance",
+    "lower_bound_profile",
+    "tightness_of_lower_bound",
+    "VALMP",
+    "Valmod",
+    "ValmodResult",
+    "valmod",
+    "find_motif_sets",
+    "rank_motif_pairs",
+    "top_motifs_across_lengths",
+]

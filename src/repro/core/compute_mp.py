@@ -1,0 +1,55 @@
+"""Algorithm 3 — ComputeMatrixProfile with lower-bound bookkeeping.
+
+Runs the STOMP inner loop (shared with :mod:`repro.matrixprofile.stomp`)
+and, per distance profile, stores the p entries with the smallest
+lower-bound distance into the :class:`~repro.core.entries.EntryStore`.
+This is the O(n^2 log p) first phase of VALMOD.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.entries import EntryStore
+from repro.distance.profile import correlation_from_qt
+from repro.distance.sliding import (
+    moving_mean_std,
+    validate_subsequence_length,
+)
+from repro.distance.znorm import CONSTANT_EPS
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.index import MatrixProfile
+from repro.matrixprofile.stomp import iterate_stomp_rows
+
+__all__ = ["compute_matrix_profile"]
+
+
+def compute_matrix_profile(
+    series: np.ndarray, length: int, p: int
+) -> Tuple[MatrixProfile, EntryStore]:
+    """Matrix profile at ``length`` plus the listDP store (Algorithm 3).
+
+    Returns the exact :class:`MatrixProfile` and an
+    :class:`EntryStore` holding, for every subsequence, the p candidates
+    with the smallest lower bound for greater lengths.
+    """
+    t = np.asarray(series, dtype=np.float64)
+    n_subs = validate_subsequence_length(t.size, length)
+    mu, sigma = moving_mean_std(t, length)
+    zone = exclusion_zone_half_width(length)
+    profile = np.empty(n_subs, dtype=np.float64)
+    index = np.empty(n_subs, dtype=np.int64)
+    store = EntryStore.empty(n_subs, p, length)
+    positions = np.arange(n_subs)
+    for i, qt, row in iterate_stomp_rows(t, length, mu, sigma):
+        j = int(np.argmin(row))
+        profile[i] = row[j]
+        index[i] = j if np.isfinite(row[j]) else -1
+        corr = correlation_from_qt(
+            qt, length, float(mu[i]), max(float(sigma[i]), CONSTANT_EPS), mu, sigma
+        )
+        eligible = np.abs(positions - i) >= zone
+        store.fill_row(i, qt, corr, float(sigma[i]), length, eligible)
+    return MatrixProfile(profile=profile, index=index, length=length), store

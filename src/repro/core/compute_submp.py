@@ -1,0 +1,224 @@
+"""Algorithm 4 — ComputeSubMP: the matrix profile for subsequent lengths.
+
+Given the ``listDP`` store built at a smaller length, this routine tries
+to find the motif pair of the new length by evaluating only the ``p``
+stored entries per distance profile (O(n p) work), instead of the full
+O(n^2) matrix profile.
+
+Validity logic (paper, Section 4.4)
+-----------------------------------
+For each profile, ``minDist`` is the smallest exact distance among the
+stored entries and ``maxLB`` the largest lower bound among them (the p-th
+smallest LB of the whole profile).  Because the LB ranking is preserved
+across lengths, every *unstored* candidate has LB >= maxLB, hence true
+distance >= maxLB.  So:
+
+* ``minDist < maxLB``   -> the profile minimum is known exactly (*valid*).
+* otherwise             -> the true minimum lies in [maxLB, minDist]
+  (*non-valid*); we record maxLB.
+
+If the best valid distance beats every non-valid profile's maxLB, it is
+the motif distance (``bBestM``).  Otherwise the non-valid profiles whose
+maxLB could hide a better pair are recomputed in full — but only when
+they are few; else the caller falls back to Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.entries import EntryStore
+from repro.core.lower_bound import lower_bound_from_base
+from repro.distance.mass import mass_with_stats
+from repro.distance.profile import apply_exclusion_zone, correlation_from_qt
+from repro.distance.sliding import moving_mean_std, sliding_dot_product
+from repro.distance.znorm import CONSTANT_EPS
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+__all__ = ["SubMPResult", "compute_submp"]
+
+
+@dataclass
+class SubMPResult:
+    """Output of one ComputeSubMP step.
+
+    ``sub_profile`` holds the exact matrix-profile value where known and
+    NaN for the paper's ⊥ (non-valid, not recomputed) entries.
+    """
+
+    length: int
+    sub_profile: np.ndarray
+    index: np.ndarray
+    found_motif: bool
+    best_distance: float
+    best_pair: Optional[Tuple[int, int]]
+    n_valid: int
+    n_invalid: int
+    n_recomputed: int
+    # Diagnostics for Figures 9 and 14: per-profile pruning margin.
+    min_dist: np.ndarray = field(repr=False, default=None)
+    max_lb: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def submp_size(self) -> int:
+        """Number of exactly-known entries (Figure 14's |subMP|)."""
+        return int(np.isfinite(self.sub_profile).sum())
+
+
+def _pairwise_distances(
+    qt: np.ndarray,
+    nb: np.ndarray,
+    usable: np.ndarray,
+    in_range: np.ndarray,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    length: int,
+) -> np.ndarray:
+    """Exact distances for every stored entry at ``length`` (vectorized Eq. 3)."""
+    n_rows = qt.shape[0]
+    safe_nb = np.where(in_range, nb, 0)
+    mu_i = mu[safe_nb]
+    sig_i = sigma[safe_nb]
+    mu_j = mu[:n_rows][:, None]
+    sig_j = sigma[:n_rows][:, None]
+    denom = length * np.maximum(sig_i, CONSTANT_EPS) * np.maximum(sig_j, CONSTANT_EPS)
+    corr = (qt - length * mu_i * mu_j) / denom
+    np.clip(corr, -1.0, 1.0, out=corr)
+    dist = np.sqrt(np.maximum(2.0 * length * (1.0 - corr), 0.0))
+    i_const = sig_i < CONSTANT_EPS
+    j_const = sig_j < CONSTANT_EPS
+    dist = np.where(i_const ^ j_const, math.sqrt(length), dist)
+    dist = np.where(i_const & j_const, 0.0, dist)
+    return np.where(usable, dist, np.inf)
+
+
+def compute_submp(
+    series: np.ndarray,
+    store: EntryStore,
+    new_length: int,
+    recompute_fraction: float = 0.5,
+) -> SubMPResult:
+    """Run one ComputeSubMP step, advancing ``store`` to ``new_length``.
+
+    ``recompute_fraction`` is the paper's "less than half" threshold: the
+    partial-recompute path (Algorithm 4 lines 27-38) only runs when the
+    non-valid profiles are fewer than this fraction of all profiles; set
+    it to 0 to disable the path (ablation).
+    """
+    t = np.asarray(series, dtype=np.float64)
+    n = t.size
+    n_dp = n - new_length + 1
+    if n_dp < 2:
+        raise InvalidParameterError(
+            f"length {new_length} leaves fewer than two subsequences"
+        )
+    store.advance_to(new_length, t)
+    mu, sigma = moving_mean_std(t, new_length)
+    zone = exclusion_zone_half_width(new_length)
+
+    nb = store.neighbor[:n_dp]
+    qt = store.qt[:n_dp]
+    rows = np.arange(n_dp)[:, None]
+    real = nb >= 0
+    in_range = real & (nb <= n - new_length)
+    usable = in_range & (np.abs(nb - rows) >= zone)
+
+    dist = _pairwise_distances(qt, nb, usable, in_range, mu, sigma, new_length)
+    lb = np.asarray(
+        lower_bound_from_base(store.lb_base[:n_dp], sigma[:n_dp][:, None]),
+        dtype=np.float64,
+    )
+    # Empty slots keep lb_base = +inf -> lb = +inf, encoding "nothing
+    # was left unstored for this profile".
+    max_lb = lb.max(axis=1)
+    min_dist = dist.min(axis=1)
+    arg = np.argmin(dist, axis=1)
+    ind = np.take_along_axis(nb, arg[:, None], axis=1).ravel()
+
+    valid = min_dist < max_lb
+    sub_profile = np.full(n_dp, np.nan, dtype=np.float64)
+    index = np.full(n_dp, -1, dtype=np.int64)
+    sub_profile[valid] = min_dist[valid]
+    index[valid] = ind[valid]
+
+    best_distance = np.inf
+    best_pair: Optional[Tuple[int, int]] = None
+    if valid.any():
+        masked = np.where(valid, min_dist, np.inf)
+        best_row = int(np.argmin(masked))
+        if np.isfinite(masked[best_row]):
+            best_distance = float(masked[best_row])
+            best_pair = (best_row, int(ind[best_row]))
+
+    invalid_rows = np.where(~valid)[0]
+    min_lb_abs = float(max_lb[invalid_rows].min()) if invalid_rows.size else np.inf
+    found = best_distance < min_lb_abs
+    n_recomputed = 0
+
+    # Refinement over the paper's pseudocode: Algorithm 4 gates the
+    # partial path on the count of *all* non-valid profiles, but only the
+    # non-valid profiles whose maxLB undercuts the best-so-far can hide a
+    # better pair (line 29 skips the rest anyway) — so we gate on that
+    # count.  Strictly fewer full recomputations, identical results.
+    needing = (
+        invalid_rows[max_lb[invalid_rows] < best_distance]
+        if invalid_rows.size
+        else invalid_rows
+    )
+    if not found and needing.size < recompute_fraction * n_dp:
+        # Partial recompute (Algorithm 4, lines 27-38): visit non-valid
+        # profiles in ascending maxLB order; stop as soon as the bound
+        # proves no remaining profile can beat the best-so-far.
+        positions = np.arange(n_dp)
+        for r in needing[np.argsort(max_lb[needing])]:
+            if max_lb[r] >= best_distance:
+                break
+            r = int(r)
+            qt_row = sliding_dot_product(t[r : r + new_length], t)
+            row_dp = mass_with_stats(t, r, new_length, mu, sigma, qt=qt_row)
+            apply_exclusion_zone(row_dp, r, zone)
+            j = int(np.argmin(row_dp))
+            sub_profile[r] = row_dp[j] if np.isfinite(row_dp[j]) else np.nan
+            index[r] = j if np.isfinite(row_dp[j]) else -1
+            if row_dp[j] < best_distance:
+                best_distance = float(row_dp[j])
+                best_pair = (r, j)
+            # Rebuild this profile's listDP row at the new base length so
+            # later steps keep pruning (Algorithm 4, line 34).
+            corr_row = correlation_from_qt(
+                qt_row,
+                new_length,
+                float(mu[r]),
+                max(float(sigma[r]), CONSTANT_EPS),
+                mu,
+                sigma,
+            )
+            store.fill_row(
+                r,
+                qt_row,
+                corr_row,
+                float(sigma[r]),
+                new_length,
+                np.abs(positions - r) >= zone,
+            )
+            n_recomputed += 1
+        found = True
+
+    return SubMPResult(
+        length=new_length,
+        sub_profile=sub_profile,
+        index=index,
+        found_motif=found,
+        best_distance=best_distance,
+        best_pair=best_pair,
+        n_valid=int(valid.sum()),
+        n_invalid=int(invalid_rows.size),
+        n_recomputed=n_recomputed,
+        min_dist=min_dist,
+        max_lb=max_lb,
+    )

@@ -1,0 +1,112 @@
+"""Variable-length discord discovery — the paper's stated extension.
+
+Section 8 of the paper names discords (the most *anomalous*
+subsequences, i.e. the matrix-profile maxima) as the application that an
+all-lengths matrix profile unlocks.  A discord of the wrong length is as
+misleading as a motif of the wrong length: a 2-second glitch scanned
+with a 10-second window dilutes into normality.
+
+:func:`find_discords` scans every length in a range, length-normalizes
+the profile values (the same ``sqrt(1/l)`` scale that makes motifs
+comparable makes discords comparable), and returns the top-k
+non-overlapping discords across all lengths.
+
+Exactness note: per-position values require the *full* matrix profile
+of each length, so this driver runs the per-length engines directly
+(VALMOD's partial subMP intentionally leaves non-valid positions
+unknown, which is fine for minima but not maxima).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.stomp import stomp
+from repro.types import length_normalized
+
+__all__ = ["Discord", "find_discords"]
+
+
+@dataclass(frozen=True, order=True)
+class Discord:
+    """One anomalous subsequence, ranked by normalized NN distance."""
+
+    normalized_distance: float
+    distance: float = field(compare=False)
+    length: int = field(compare=False)
+    start: int = field(compare=False)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+def find_discords(
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    k: int = 3,
+) -> List[Discord]:
+    """Top-k variable-length discords, best (most anomalous) first.
+
+    A discord's score is its length-normalized nearest-neighbor
+    distance; discords of different lengths compete on that common
+    scale, and returned discords are mutually non-overlapping (the
+    exclusion zone of the *longer* window applies).
+    """
+    t = as_series(series, min_length=8)
+    if l_min > l_max:
+        raise InvalidParameterError(f"l_min ({l_min}) must not exceed l_max ({l_max})")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+
+    candidates: List[Discord] = []
+    for length in range(l_min, l_max + 1):
+        mp = stomp(t, length)
+        finite = np.isfinite(mp.profile)
+        order = np.argsort(mp.profile)[::-1]
+        # Keep a handful of per-length maxima; cross-length competition
+        # happens below.
+        kept = 0
+        zone = exclusion_zone_half_width(length)
+        taken: List[int] = []
+        for pos in order:
+            pos = int(pos)
+            if not finite[pos]:
+                continue
+            if any(abs(pos - other) < zone for other in taken):
+                continue
+            candidates.append(
+                Discord(
+                    normalized_distance=length_normalized(
+                        float(mp.profile[pos]), length
+                    ),
+                    distance=float(mp.profile[pos]),
+                    length=length,
+                    start=pos,
+                )
+            )
+            taken.append(pos)
+            kept += 1
+            if kept >= k:
+                break
+
+    result: List[Discord] = []
+    for candidate in sorted(candidates, reverse=True):
+        zone = exclusion_zone_half_width(candidate.length)
+        if any(
+            abs(candidate.start - chosen.start)
+            < max(zone, exclusion_zone_half_width(chosen.length))
+            for chosen in result
+        ):
+            continue
+        result.append(candidate)
+        if len(result) >= k:
+            break
+    return result

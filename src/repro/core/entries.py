@@ -1,0 +1,149 @@
+"""``listDP``: per-profile stores of the p best lower-bound entries.
+
+Algorithm 3 keeps, for every distance profile, the ``p`` entries with the
+smallest lower-bound distance (a max-heap of capacity p in the paper).
+Each entry carries the pair's dot product and enough statistics to update
+its exact distance and lower bound in O(1) per length increment
+(Algorithm 4, line 10).
+
+Instead of n Python heaps we store the structure as three ``(n, p)``
+arrays — neighbor offsets, dot products, and the k-independent lower
+bound numerators ``lb_base`` (see :mod:`repro.core.lower_bound`) — so the
+whole of Algorithm 4 vectorizes across profiles.  Window sums are *not*
+stored per entry: they are O(1) reads from the series prefix sums at any
+length, which is exactly the role of the per-entry sums in the paper's C
+implementation.
+
+Empty slots (profiles with fewer than p non-trivial candidates) have
+neighbor -1 and ``lb_base = +inf``; the +inf makes ``max_lb`` infinite for
+such profiles, which encodes "the store holds every candidate, nothing
+was left unstored" — the validity test is then trivially satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lower_bound import lower_bound_base
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["EntryStore"]
+
+
+@dataclass
+class EntryStore:
+    """Vectorized ``listDP`` for all profiles of one VALMOD run.
+
+    Attributes
+    ----------
+    neighbor:
+        ``(n, p)`` int64; the other offset of each stored pair, -1 = empty.
+    qt:
+        ``(n, p)`` float64; dot product of the pair at ``current_length``.
+    lb_base:
+        ``(n, p)`` float64; ``f(q) sqrt(l_base) sigma[j, l_base]``
+        evaluated at the row's base length (+inf = empty).
+    base_length:
+        ``(n,)`` int64; the length each row was (re)built at.
+    current_length:
+        The length the ``qt`` values correspond to right now.
+    """
+
+    neighbor: np.ndarray
+    qt: np.ndarray
+    lb_base: np.ndarray
+    base_length: np.ndarray
+    current_length: int
+
+    @classmethod
+    def empty(cls, n_profiles: int, p: int, length: int) -> "EntryStore":
+        """Allocate an all-empty store for ``n_profiles`` rows of width p."""
+        if p <= 0:
+            raise InvalidParameterError(f"p must be positive, got {p}")
+        if n_profiles <= 0:
+            raise InvalidParameterError(
+                f"need at least one profile, got {n_profiles}"
+            )
+        return cls(
+            neighbor=np.full((n_profiles, p), -1, dtype=np.int64),
+            qt=np.zeros((n_profiles, p), dtype=np.float64),
+            lb_base=np.full((n_profiles, p), np.inf, dtype=np.float64),
+            base_length=np.full(n_profiles, length, dtype=np.int64),
+            current_length=length,
+        )
+
+    @property
+    def n_profiles(self) -> int:
+        return self.neighbor.shape[0]
+
+    @property
+    def p(self) -> int:
+        return self.neighbor.shape[1]
+
+    def fill_row(
+        self,
+        row: int,
+        qt_row: np.ndarray,
+        corr_row: np.ndarray,
+        sigma_owner: float,
+        length: int,
+        eligible: np.ndarray,
+    ) -> None:
+        """Rebuild one row from a freshly computed distance profile.
+
+        ``qt_row`` / ``corr_row`` are the dot products and correlations of
+        profile ``row`` against every candidate at ``length``;
+        ``eligible`` marks candidates outside the exclusion zone.  Keeps
+        the p candidates with the smallest lower bound (equivalently, the
+        smallest ``lb_base``, since the 1/sigma factor is shared).
+        """
+        base = np.asarray(
+            lower_bound_base(corr_row, length, sigma_owner), dtype=np.float64
+        )
+        base = np.where(eligible, base, np.inf)
+        p = self.p
+        n_candidates = base.size
+        if n_candidates > p:
+            picked = np.argpartition(base, p - 1)[:p]
+        else:
+            picked = np.arange(n_candidates)
+        picked = picked[np.isfinite(base[picked])]
+        count = picked.size
+        self.neighbor[row, :count] = picked
+        self.neighbor[row, count:] = -1
+        self.qt[row, :count] = qt_row[picked]
+        self.qt[row, count:] = 0.0
+        self.lb_base[row, :count] = base[picked]
+        self.lb_base[row, count:] = np.inf
+        self.base_length[row] = length
+
+    def advance_to(self, new_length: int, series: np.ndarray) -> None:
+        """Extend every stored pair's dot product to ``new_length``.
+
+        Implements the O(1)-per-entry update of Algorithm 4, line 10:
+        ``qt += t[i + L - 1] * t[j + L - 1]`` for each unit length
+        increment.  Pairs whose neighbor no longer fits in the series stop
+        being updated (their distance is reported as +inf downstream).
+        """
+        if new_length != self.current_length + 1:
+            raise InvalidParameterError(
+                f"advance_to expects length {self.current_length + 1}, "
+                f"got {new_length}"
+            )
+        t = series
+        n = t.size
+        n_rows = min(self.n_profiles, n - new_length + 1)
+        if n_rows <= 0:
+            raise InvalidParameterError(
+                f"length {new_length} leaves no subsequences"
+            )
+        nb = self.neighbor[:n_rows]
+        in_range = (nb >= 0) & (nb <= n - new_length)
+        rows = np.arange(n_rows)[:, None]
+        safe_nb = np.where(in_range, nb, 0)
+        increment = t[safe_nb + new_length - 1] * t[rows + new_length - 1]
+        block = self.qt[:n_rows]
+        block[in_range] += increment[in_range]
+        self.current_length = new_length

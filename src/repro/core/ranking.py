@@ -1,0 +1,74 @@
+"""Length-normalized motif ranking (Section 3).
+
+The paper's key usability point: once motifs of several lengths are
+discovered, they must be *ranked* on a common scale.  The correct scale
+is the ``sqrt(1/l)``-normalized Euclidean distance (Figure 2 shows both
+the raw distance and the ``1/l`` normalization are biased).  These
+helpers turn per-length motif pairs into cross-length rankings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.types import MotifPair
+
+__all__ = ["rank_motif_pairs", "top_motifs_across_lengths", "deduplicate_pairs"]
+
+
+def rank_motif_pairs(pairs: Iterable[MotifPair]) -> List[MotifPair]:
+    """Sort motif pairs by length-normalized distance, best first."""
+    return sorted(pairs)
+
+
+def deduplicate_pairs(
+    pairs: Iterable[MotifPair], min_length_gap: int = 0
+) -> List[MotifPair]:
+    """Drop pairs that are length-shifted duplicates of a better pair.
+
+    Adjacent lengths usually rediscover the same underlying motif at
+    slightly shifted offsets; for presentation we keep only the best
+    representative of each (a, b) neighborhood.  Two pairs are considered
+    duplicates when both offsets fall within each other's exclusion zones
+    and their lengths differ by at most ``min_length_gap`` (0 means any
+    length difference collapses into one representative).
+    """
+    if min_length_gap < 0:
+        raise InvalidParameterError(
+            f"min_length_gap must be >= 0, got {min_length_gap}"
+        )
+    kept: List[MotifPair] = []
+    for pair in rank_motif_pairs(pairs):
+        zone = exclusion_zone_half_width(pair.length)
+        duplicate = False
+        for other in kept:
+            if min_length_gap and abs(other.length - pair.length) > min_length_gap:
+                continue
+            same_a = abs(other.a - pair.a) < zone
+            same_b = abs(other.b - pair.b) < zone
+            crossed = abs(other.a - pair.b) < zone and abs(other.b - pair.a) < zone
+            if (same_a and same_b) or crossed:
+                duplicate = True
+                break
+        if not duplicate:
+            kept.append(pair)
+    return kept
+
+
+def top_motifs_across_lengths(
+    motif_pairs: Dict[int, MotifPair], k: int, deduplicate: bool = True
+) -> List[MotifPair]:
+    """The k best motifs over all lengths, normalized-distance ranked.
+
+    ``motif_pairs`` maps length -> motif pair (a VALMOD result's
+    ``motif_pairs`` attribute).  With ``deduplicate`` the ranking
+    collapses length-shifted rediscoveries of the same motif.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    ranked = rank_motif_pairs(motif_pairs.values())
+    if deduplicate:
+        ranked = deduplicate_pairs(ranked)
+    return ranked[:k]

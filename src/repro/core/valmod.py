@@ -1,0 +1,296 @@
+"""Algorithm 1 — the VALMOD driver.
+
+Orchestrates the run: Algorithm 3 at the smallest length, then one
+Algorithm 4 step per subsequent length, falling back to Algorithm 3 when
+the lower bounds cannot certify the motif, and merging every per-length
+result into the VALMP structure (Algorithm 2).
+
+The per-length motif pair is always *exact*: either ComputeSubMP proves
+it via the lower bounds, or the driver recomputes the full matrix
+profile.  Individual VALMP positions may hold values from a coarser
+length when a profile stayed non-valid — exactly the paper's semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.compute_mp import compute_matrix_profile
+from repro.core.compute_submp import compute_submp
+from repro.core.entries import EntryStore
+from repro.core.lower_bound import lower_bound_from_base
+from repro.core.stats import LengthStats, RunStats
+from repro.core.valmp import VALMP, PairRecord, PartialProfile
+from repro.distance.sliding import moving_mean_std, validate_subsequence_length
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+from repro.types import MotifPair
+
+__all__ = ["Valmod", "ValmodResult", "valmod", "DEFAULT_P"]
+
+#: the paper's default for p (Table 2).
+DEFAULT_P = 50
+
+
+@dataclass
+class ValmodResult:
+    """Everything a VALMOD run produces.
+
+    Attributes
+    ----------
+    valmp:
+        The variable-length matrix profile (Algorithm 2's structure).
+    motif_pairs:
+        Exact motif pair for every length in the range.
+    stats:
+        Per-length instrumentation (see :mod:`repro.core.stats`).
+    """
+
+    l_min: int
+    l_max: int
+    p: int
+    valmp: VALMP
+    motif_pairs: Dict[int, MotifPair]
+    stats: RunStats = field(repr=False, default_factory=RunStats)
+
+    def best_motif_pair(self) -> MotifPair:
+        """The top variable-length motif (smallest normalized distance)."""
+        return min(self.motif_pairs.values())
+
+    def ranked_motif_pairs(self) -> List[MotifPair]:
+        """All per-length motif pairs, best normalized distance first."""
+        return sorted(self.motif_pairs.values())
+
+    def best_k_pairs(self) -> List[PairRecord]:
+        """The Algorithm 5 heap contents (needs ``track_top_k`` > 0)."""
+        return self.valmp.best_k_pairs()
+
+
+class Valmod:
+    """Configurable VALMOD runner.
+
+    Parameters
+    ----------
+    series:
+        The input data series.
+    l_min, l_max:
+        Inclusive subsequence-length range.
+    p:
+        Number of distance-profile entries kept per subsequence
+        (Table 2; the paper's default is 50).
+    track_top_k:
+        Size of the best-pair heap kept for motif-set discovery
+        (Algorithm 5); 0 disables tracking.
+    recompute_fraction:
+        Threshold for ComputeSubMP's partial-recompute path (the paper's
+        "fewer than half"); 0 disables the path (ablation).
+    lb_pruning:
+        Ablation switch — ``False`` recomputes the full matrix profile at
+        every length, i.e. degenerates to STOMP-per-length.
+    keep_margins:
+        Keep per-profile maxLB - minDist vectors for Figure 9 analysis.
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        l_min: int,
+        l_max: int,
+        p: int = DEFAULT_P,
+        track_top_k: int = 0,
+        recompute_fraction: float = 0.5,
+        lb_pruning: bool = True,
+        keep_margins: bool = False,
+    ) -> None:
+        self.series = as_series(series, min_length=8)
+        if l_min > l_max:
+            raise InvalidParameterError(
+                f"l_min ({l_min}) must not exceed l_max ({l_max})"
+            )
+        validate_subsequence_length(self.series.size, l_min)
+        validate_subsequence_length(self.series.size, l_max)
+        if p <= 0:
+            raise InvalidParameterError(f"p must be positive, got {p}")
+        self.l_min = int(l_min)
+        self.l_max = int(l_max)
+        self.p = int(p)
+        self.track_top_k = int(track_top_k)
+        self.recompute_fraction = float(recompute_fraction)
+        self.lb_pruning = bool(lb_pruning)
+        self.keep_margins = bool(keep_margins)
+        self._store: Optional[EntryStore] = None
+        self._stats_cache: Optional[tuple] = None  # (length, mu, sigma)
+
+    def run(self) -> ValmodResult:
+        """Execute Algorithm 1 over the configured length range."""
+        t = self.series
+        n_profiles = t.size - self.l_min + 1
+        valmp = VALMP(n_profiles, track_top_k=self.track_top_k)
+        stats = RunStats()
+        motif_pairs: Dict[int, MotifPair] = {}
+
+        start = time.perf_counter()
+        mp, store = compute_matrix_profile(t, self.l_min, self.p)
+        self._store = store
+        improved = valmp.update(mp.profile, mp.index, self.l_min)
+        valmp.record_pairs(improved, self.l_min, self._snapshot)
+        pair = mp.motif_pair()
+        motif_pairs[self.l_min] = pair
+        stats.add(
+            LengthStats(
+                length=self.l_min,
+                mode="initial",
+                elapsed_seconds=time.perf_counter() - start,
+                n_profiles=n_profiles,
+                submp_size=n_profiles,
+                motif_distance=pair.distance,
+            )
+        )
+
+        for length in range(self.l_min + 1, self.l_max + 1):
+            start = time.perf_counter()
+            if not self.lb_pruning:
+                self._full_recompute(length, valmp, motif_pairs, stats, start)
+                continue
+            result = compute_submp(
+                t, store, length, recompute_fraction=self.recompute_fraction
+            )
+            if result.found_motif:
+                improved = valmp.update(result.sub_profile, result.index, length)
+                valmp.record_pairs(improved, length, self._snapshot)
+                if result.best_pair is not None:
+                    motif_pairs[length] = MotifPair.build(
+                        result.best_pair[0],
+                        result.best_pair[1],
+                        length,
+                        result.best_distance,
+                    )
+                mode = "submp-partial" if result.n_recomputed else "submp"
+                stats.add(
+                    LengthStats(
+                        length=length,
+                        mode=mode,
+                        elapsed_seconds=time.perf_counter() - start,
+                        n_profiles=result.sub_profile.size,
+                        n_valid=result.n_valid,
+                        n_invalid=result.n_invalid,
+                        n_recomputed=result.n_recomputed,
+                        submp_size=result.submp_size,
+                        motif_distance=result.best_distance,
+                        pruning_margin=(
+                            result.max_lb - result.min_dist
+                            if self.keep_margins
+                            else None
+                        ),
+                    )
+                )
+            else:
+                self._full_recompute(length, valmp, motif_pairs, stats, start)
+
+        return ValmodResult(
+            l_min=self.l_min,
+            l_max=self.l_max,
+            p=self.p,
+            valmp=valmp,
+            motif_pairs=motif_pairs,
+            stats=stats,
+        )
+
+    def _full_recompute(
+        self,
+        length: int,
+        valmp: VALMP,
+        motif_pairs: Dict[int, MotifPair],
+        stats: RunStats,
+        start: float,
+    ) -> None:
+        """Algorithm 1, line 13: rebuild the matrix profile and listDP."""
+        mp, store = compute_matrix_profile(self.series, length, self.p)
+        self._store = store
+        improved = valmp.update(mp.profile, mp.index, length)
+        valmp.record_pairs(improved, length, self._snapshot)
+        pair = mp.motif_pair()
+        motif_pairs[length] = pair
+        stats.add(
+            LengthStats(
+                length=length,
+                mode="full-recompute",
+                elapsed_seconds=time.perf_counter() - start,
+                n_profiles=len(mp),
+                submp_size=len(mp),
+                motif_distance=pair.distance,
+            )
+        )
+
+    def _snapshot(self, offset: int, length: int) -> Optional[PartialProfile]:
+        """Snapshot one listDP row for the motif-set stage (Algorithm 5)."""
+        store = self._store
+        if store is None or offset >= store.n_profiles:
+            return None
+        t = self.series
+        n = t.size
+        if offset > n - length:
+            return None
+        if self._stats_cache is not None and self._stats_cache[0] == length:
+            mu, sigma = self._stats_cache[1], self._stats_cache[2]
+        else:
+            mu, sigma = moving_mean_std(t, length)
+            self._stats_cache = (length, mu, sigma)
+        nb = store.neighbor[offset]
+        real = nb >= 0
+        in_range = real & (nb <= n - length)
+        if not in_range.any():
+            return PartialProfile(
+                owner=offset,
+                length=length,
+                neighbors=np.empty(0, dtype=np.int64),
+                distances=np.empty(0, dtype=np.float64),
+                max_lb=float("inf") if not real.all() else 0.0,
+            )
+        safe_nb = np.where(in_range, nb, 0)
+        qt = store.qt[offset]
+        length_f = float(length)
+        mu_i = mu[safe_nb]
+        sig_i = np.maximum(sigma[safe_nb], 1e-13)
+        mu_j = float(mu[offset])
+        sig_j = max(float(sigma[offset]), 1e-13)
+        corr = (qt - length_f * mu_i * mu_j) / (length_f * sig_i * sig_j)
+        np.clip(corr, -1.0, 1.0, out=corr)
+        dist = np.sqrt(np.maximum(2.0 * length_f * (1.0 - corr), 0.0))
+        lb = np.asarray(
+            lower_bound_from_base(store.lb_base[offset], float(sigma[offset])),
+            dtype=np.float64,
+        )
+        max_lb = float(lb.max()) if lb.size else float("inf")
+        return PartialProfile(
+            owner=offset,
+            length=length,
+            neighbors=nb[in_range].copy(),
+            distances=dist[in_range].copy(),
+            max_lb=max_lb,
+        )
+
+
+def valmod(
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    p: int = DEFAULT_P,
+    track_top_k: int = 0,
+) -> ValmodResult:
+    """Functional entry point: run VALMOD with default settings.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro import valmod
+    >>> rng = np.random.default_rng(0)
+    >>> series = rng.standard_normal(2000)
+    >>> result = valmod(series, l_min=32, l_max=48)
+    >>> pair = result.best_motif_pair()
+    """
+    return Valmod(series, l_min, l_max, p=p, track_top_k=track_top_k).run()

@@ -1,0 +1,56 @@
+"""Synthetic stand-ins for the paper's five evaluation datasets.
+
+The paper evaluates on five real datasets (Table 1): ECG and EMG from the
+stress-recognition driving study, GAP (French global active power), ASTRO
+(AGN X-ray variability), and EEG (cyclic alternating pattern sleep
+recordings).  None are redistributable offline, so each module here
+generates a seeded synthetic series of the same *structure class* and
+matching Table-1 statistics; DESIGN.md documents why structure (not
+provenance) is what the algorithms are sensitive to.
+
+Use :func:`repro.datasets.registry.load_dataset` for uniform access, or
+the per-family generators directly.
+"""
+
+from repro.datasets.generators import (
+    affine_to,
+    random_walk,
+    resample,
+    sine_mixture,
+    white_noise,
+)
+from repro.datasets.motif_planting import plant_motifs
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+)
+from repro.datasets.ecg import generate_ecg
+from repro.datasets.emg import generate_emg
+from repro.datasets.power import generate_gap
+from repro.datasets.astro import generate_astro
+from repro.datasets.eeg import generate_eeg
+from repro.datasets.epg import generate_epg
+from repro.datasets.trace import trace_signature, trace_pair_at_lengths
+
+__all__ = [
+    "affine_to",
+    "random_walk",
+    "resample",
+    "sine_mixture",
+    "white_noise",
+    "plant_motifs",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_spec",
+    "load_dataset",
+    "generate_ecg",
+    "generate_emg",
+    "generate_gap",
+    "generate_astro",
+    "generate_eeg",
+    "generate_epg",
+    "trace_signature",
+    "trace_pair_at_lengths",
+]

@@ -1,0 +1,136 @@
+"""EPG-like generator for the entomology case study (Section 9.1).
+
+The paper's case study records an Electrical Penetration Graph of an
+Asian citrus psyllid feeding for 5.5 hours and finds that the top motif
+*changes meaning* across lengths: around 10 s it is a complex probing
+pattern, around 12 s a simple repetitive xylem-ingestion wave
+(Figure 1).
+
+This generator reproduces that situation synthetically: a baseline
+voltage with two planted behaviour classes —
+
+* ``probing``: a multi-phase pattern (drops, oscillation burst, ramp)
+  planted at the *shorter* duration;
+* ``ingestion``: a plain sawtooth-like sucking rhythm planted at the
+  *longer* duration;
+
+each repeated several times with small amplitude jitter.  Searching the
+length range spanning both durations should yield different top motifs
+at the two scales — the case-study claim the example script verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.generators import require_length, smooth, white_noise
+
+__all__ = ["generate_epg", "EPGGroundTruth"]
+
+
+@dataclass(frozen=True)
+class EPGGroundTruth:
+    """Where the behaviours were planted, for verification."""
+
+    probing_positions: Tuple[int, ...]
+    probing_length: int
+    ingestion_positions: Tuple[int, ...]
+    ingestion_length: int
+
+
+def _probing_pattern(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Complex probing waveform: two sharp drops, a burst, a recovery ramp.
+
+    Copies are near-identical (tiny amplitude jitter): at the probing
+    duration this is the best match in the series.
+    """
+    phase = np.linspace(0.0, 1.0, length)
+    out = np.zeros(length, dtype=np.float64)
+    for center in (0.12, 0.38):
+        out -= 1.6 * np.exp(-0.5 * ((phase - center) / 0.025) ** 2)
+    burst_zone = (phase > 0.5) & (phase < 0.78)
+    out[burst_zone] += 0.7 * np.sin(2.0 * np.pi * 14.0 * phase[burst_zone])
+    ramp_zone = phase >= 0.78
+    out[ramp_zone] += np.linspace(0.0, 0.9, int(ramp_zone.sum()))
+    return out * (1.0 + 0.01 * rng.standard_normal())
+
+
+def _ingestion_pattern(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Simple repetitive sucking rhythm: a smoothed sawtooth.
+
+    Copies carry moderate per-point jitter: a decent — not perfect —
+    match over the *full* ingestion duration, so it only becomes the top
+    motif once the probing windows are forced to include the turbulent
+    repositioning that follows each probe.
+    """
+    cycles = 6.0
+    phase = np.linspace(0.0, cycles, length) % 1.0
+    saw = 2.0 * phase - 1.0
+    body = smooth(saw, max(3, length // 60))
+    jitter = smooth(rng.standard_normal(length), 7)
+    return (body + 0.22 * jitter) * (1.0 + 0.02 * rng.standard_normal())
+
+
+def generate_epg(
+    n: int = 20_500,
+    seed: int = 0,
+    probing_length: int = 200,
+    ingestion_length: int = 240,
+    occurrences: int = 4,
+) -> Tuple[np.ndarray, EPGGroundTruth]:
+    """EPG-like series plus the planted-behaviour ground truth.
+
+    Default sizes are a 1:10 scaling of the case study's 205,000 points
+    (10 s ≈ 200 samples); pass larger ``n`` to scale up.
+    """
+    n = require_length(n, 64 * occurrences)
+    rng = np.random.default_rng(seed)
+    out = 0.15 * smooth(white_noise(n, rng, 1.0), 21)
+    out += 0.06 * white_noise(n, rng, 1.0)
+
+    slots = occurrences * 2
+    slot_width = n // slots
+    order = rng.permutation(slots)
+    probing_positions: List[int] = []
+    ingestion_positions: List[int] = []
+    for rank, slot in enumerate(order):
+        margin = max(ingestion_length, probing_length) + 10
+        lo = slot * slot_width
+        hi = min((slot + 1) * slot_width, n) - margin
+        if hi <= lo:
+            continue
+        start = int(rng.integers(lo, hi))
+        if rank % 2 == 0 and len(probing_positions) < occurrences:
+            out[start : start + probing_length] += _probing_pattern(
+                probing_length, rng
+            )
+            # Each probe is bracketed by the insect repositioning:
+            # strong, occurrence-specific turbulence immediately before
+            # and after the pattern.  This is what makes the *extended*
+            # probing windows diverge (in either direction) and hands the
+            # longer-length motif to the ingestion rhythm.
+            turb_len = max(32, probing_length // 3)
+            tail = 1.1 * smooth(rng.standard_normal(turb_len), 3)
+            tail_end = min(start + probing_length + turb_len, n)
+            out[start + probing_length : tail_end] += tail[
+                : tail_end - start - probing_length
+            ]
+            head = 1.1 * smooth(rng.standard_normal(turb_len), 3)
+            head_start = max(0, start - turb_len)
+            out[head_start:start] += head[turb_len - (start - head_start) :]
+            probing_positions.append(start)
+        elif len(ingestion_positions) < occurrences:
+            out[start : start + ingestion_length] += 1.2 * _ingestion_pattern(
+                ingestion_length, rng
+            )
+            ingestion_positions.append(start)
+    truth = EPGGroundTruth(
+        probing_positions=tuple(sorted(probing_positions)),
+        probing_length=probing_length,
+        ingestion_positions=tuple(sorted(ingestion_positions)),
+        ingestion_length=ingestion_length,
+    )
+    return out, truth

@@ -1,0 +1,101 @@
+"""Planting known motifs into background series.
+
+Integration tests and examples need series whose true motifs are known.
+:func:`plant_motifs` injects copies of a pattern at non-overlapping
+positions (with controllable amplitude jitter and additive noise), so the
+discovered motif pair can be checked against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["plant_motifs", "PlantedMotifs"]
+
+
+@dataclass(frozen=True)
+class PlantedMotifs:
+    """A background series with pattern copies planted into it."""
+
+    series: np.ndarray
+    positions: Tuple[int, ...]
+    length: int
+
+    def nearest_planted(self, offset: int) -> int:
+        """The planted position closest to ``offset`` (for assertions)."""
+        return min(self.positions, key=lambda pos: abs(pos - offset))
+
+    def hit(self, offset: int, tolerance: Optional[int] = None) -> bool:
+        """True when ``offset`` falls within ``tolerance`` of a planted copy.
+
+        Default tolerance is a quarter of the pattern length, matching
+        the slack motif discovery has in phase-aligning the copies.
+        """
+        if tolerance is None:
+            tolerance = max(1, self.length // 4)
+        return abs(self.nearest_planted(offset) - offset) <= tolerance
+
+
+def plant_motifs(
+    background: np.ndarray,
+    pattern: np.ndarray,
+    positions: Optional[Sequence[int]] = None,
+    count: int = 2,
+    scale: float = 1.0,
+    amplitude_jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> PlantedMotifs:
+    """Add copies of ``pattern`` to ``background`` at known offsets.
+
+    Positions are drawn uniformly without overlap when not given.  The
+    pattern is *added* (not substituted), so the background's texture
+    stays continuous at the seams.
+    """
+    base = np.asarray(background, dtype=np.float64).copy()
+    pat = np.asarray(pattern, dtype=np.float64)
+    if pat.size < 4:
+        raise InvalidParameterError("pattern must have at least 4 points")
+    if pat.size * 2 > base.size:
+        raise InvalidParameterError(
+            f"pattern of {pat.size} points does not fit twice in "
+            f"{base.size}-point background"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    if positions is None:
+        if count < 2:
+            raise InvalidParameterError(f"count must be >= 2, got {count}")
+        chosen: List[int] = []
+        attempts = 0
+        while len(chosen) < count:
+            attempts += 1
+            if attempts > 10_000:
+                raise InvalidParameterError(
+                    f"could not place {count} non-overlapping copies of a "
+                    f"{pat.size}-point pattern in {base.size} points"
+                )
+            cand = int(rng.integers(0, base.size - pat.size + 1))
+            if all(abs(cand - other) >= pat.size for other in chosen):
+                chosen.append(cand)
+        positions = sorted(chosen)
+    else:
+        positions = sorted(int(p) for p in positions)
+        for a, b in zip(positions, positions[1:]):
+            if b - a < pat.size:
+                raise InvalidParameterError(
+                    f"planted positions {a} and {b} overlap for pattern "
+                    f"length {pat.size}"
+                )
+        if positions[0] < 0 or positions[-1] + pat.size > base.size:
+            raise InvalidParameterError("planted positions fall outside the series")
+
+    for pos in positions:
+        jitter = 1.0 + amplitude_jitter * float(rng.standard_normal())
+        base[pos : pos + pat.size] += scale * jitter * pat
+    return PlantedMotifs(series=base, positions=tuple(positions), length=pat.size)

@@ -1,0 +1,65 @@
+"""TRACE-like signature for the length-normalization study (Figure 2).
+
+The paper uses two series from the TRACE dataset as proxies for a
+"washing machine" signature expressed at different speeds: the same
+prototype pattern down-sampled to a range of lengths.  A correct
+length-ranking correction should give the pair approximately the *same*
+distance at every length.
+
+:func:`trace_signature` is a parametric prototype — a ramp, a plateau
+with superimposed oscillation, a spike, and a decay — evaluated directly
+at any requested length (phase-parameterized, so it *is* its own
+down-sampled version), with an optional per-instance perturbation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.generators import require_length
+
+__all__ = ["trace_signature", "trace_pair_at_lengths"]
+
+
+def trace_signature(length: int, variant_seed: int = None) -> np.ndarray:
+    """The prototype signature at ``length`` samples.
+
+    ``variant_seed`` adds a small reproducible perturbation so two
+    variants are similar-but-not-identical, as in the paper's two TRACE
+    series.
+    """
+    phase = np.linspace(0.0, 1.0, require_length(length, 16))
+    out = np.zeros(length, dtype=np.float64)
+    ramp = phase < 0.2
+    out[ramp] = phase[ramp] / 0.2
+    plateau = (phase >= 0.2) & (phase < 0.62)
+    out[plateau] = 1.0 + 0.15 * np.sin(2.0 * np.pi * 9.0 * phase[plateau])
+    out += 1.4 * np.exp(-0.5 * ((phase - 0.7) / 0.015) ** 2)  # spike
+    decay = phase >= 0.72
+    out[decay] = out[decay] * 0.0 + np.exp(-(phase[decay] - 0.72) / 0.07)
+    if variant_seed is not None:
+        rng = np.random.default_rng(variant_seed)
+        bumps = np.zeros(length)
+        for _ in range(3):
+            center = rng.random()
+            bumps += 0.06 * rng.standard_normal() * np.exp(
+                -0.5 * ((phase - center) / 0.05) ** 2
+            )
+        out = out + bumps
+    return out
+
+
+def trace_pair_at_lengths(
+    lengths: List[int], seed_a: int = 11, seed_b: int = 23
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The two signature variants rendered at each requested length.
+
+    This is the Figure-2 protocol: the same pattern pair expressed at a
+    sweep of speeds, ready to feed a distance-vs-length study.
+    """
+    return [
+        (trace_signature(length, seed_a), trace_signature(length, seed_b))
+        for length in lengths
+    ]

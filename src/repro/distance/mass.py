@@ -1,0 +1,83 @@
+"""MASS: Mueen's Algorithm for Similarity Search.
+
+Computes one full distance profile in O(n log n): a single FFT sliding dot
+product followed by the closed-form Eq. 3 kernel.  This is the inner loop
+of STAMP and the recomputation primitive of VALMOD's Algorithm 4 (lines
+30-33).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.distance.profile import distance_profile_from_qt
+from repro.distance.sliding import moving_mean_std, sliding_dot_product
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["mass", "mass_with_stats"]
+
+
+def mass(series: np.ndarray, start: int, length: int) -> np.ndarray:
+    """Distance profile of ``series[start : start + length]`` vs all windows.
+
+    Convenience wrapper that computes the window statistics internally;
+    use :func:`mass_with_stats` inside loops that already have them.
+    """
+    t = np.asarray(series, dtype=np.float64)
+    mu, sigma = moving_mean_std(t, length)
+    return mass_with_stats(t, start, length, mu, sigma)
+
+
+def mass_with_stats(
+    series: np.ndarray,
+    start: int,
+    length: int,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    qt: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """MASS with precomputed per-window statistics (and optionally QT).
+
+    ``mu`` / ``sigma`` must be the length-``length`` moving statistics of
+    ``series``.  Passing ``qt`` skips the FFT (used by engines that
+    maintain dot products incrementally).
+    """
+    t = np.asarray(series, dtype=np.float64)
+    n_subs = t.size - length + 1
+    if n_subs <= 0:
+        raise InvalidParameterError(
+            f"length {length} leaves no subsequences in series of {t.size} points"
+        )
+    if not 0 <= start < n_subs:
+        raise InvalidParameterError(
+            f"query start {start} out of range for {n_subs} subsequences"
+        )
+    if qt is None:
+        qt = sliding_dot_product(t[start : start + length], t)
+    return distance_profile_from_qt(
+        qt, length, float(mu[start]), float(sigma[start]), mu, sigma
+    )
+
+
+def mass_pair(series: np.ndarray, length: int, i: int, j: int) -> Tuple[float, float]:
+    """Distance and correlation between windows ``i`` and ``j`` (exact).
+
+    Small helper used by engines that need a single pairwise value without
+    materializing a profile.
+    """
+    t = np.asarray(series, dtype=np.float64)
+    a = t[i : i + length]
+    b = t[j : j + length]
+    qt = float(np.dot(a, b))
+    mu_a, sig_a = a.mean(), a.std()
+    mu_b, sig_b = b.mean(), b.std()
+    if sig_a <= 0.0 or sig_b <= 0.0:
+        from repro.distance.znorm import znormalized_distance
+
+        d = znormalized_distance(a, b)
+        return d, 1.0 - d * d / (2.0 * length)
+    corr = (qt - length * mu_a * mu_b) / (length * sig_a * sig_b)
+    corr = min(1.0, max(-1.0, corr))
+    return (2.0 * length * (1.0 - corr)) ** 0.5, corr

@@ -1,0 +1,117 @@
+"""Distance-profile kernels: Eq. 3 of the paper, vectorized.
+
+A distance profile (Definition 2.4) holds the z-normalized Euclidean
+distance between one query subsequence and every other subsequence of the
+series.  Given the sliding dot products ``QT`` and the per-window
+statistics, Eq. 3 turns each entry into::
+
+    dist(T[i], T[j]) = sqrt(2 l (1 - (QT[i,j] - l mu_i mu_j) / (l sigma_i sigma_j)))
+
+Constant windows are handled with the conventions documented in
+:mod:`repro.distance.znorm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.znorm import CONSTANT_EPS, znormalized_distance
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "correlation_from_qt",
+    "distance_profile_from_qt",
+    "naive_distance_profile",
+    "apply_exclusion_zone",
+]
+
+
+def correlation_from_qt(
+    qt: np.ndarray,
+    length: int,
+    mu_q: float,
+    sigma_q: float,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+) -> np.ndarray:
+    """Pearson correlation between the query and every window, from QT.
+
+    ``qt`` is the sliding dot product of the query against the series,
+    ``mu_q`` / ``sigma_q`` the query statistics, ``mu`` / ``sigma`` the
+    per-window statistics.  Windows where either side is constant get
+    correlation 0 here; the distance kernel overrides them explicitly.
+    """
+    denom = length * sigma_q * sigma[: qt.size]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = (qt - length * mu_q * mu[: qt.size]) / denom
+    corr[~np.isfinite(corr)] = 0.0
+    np.clip(corr, -1.0, 1.0, out=corr)
+    return corr
+
+
+def distance_profile_from_qt(
+    qt: np.ndarray,
+    length: int,
+    mu_q: float,
+    sigma_q: float,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Eq. 3: distance profile from dot products and statistics.
+
+    Applies the constant-window conventions: distance 0 when both the
+    query and the window are constant, ``sqrt(l)`` when exactly one is.
+    """
+    if length <= 0:
+        raise InvalidParameterError(f"length must be positive, got {length}")
+    sig = sigma[: qt.size]
+    query_const = sigma_q < CONSTANT_EPS
+    window_const = sig < CONSTANT_EPS
+    corr = correlation_from_qt(qt, length, mu_q, max(sigma_q, CONSTANT_EPS), mu, sigma)
+    dist_sq = 2.0 * length * (1.0 - corr)
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    profile = np.sqrt(dist_sq)
+    if query_const:
+        profile = np.where(window_const, 0.0, np.sqrt(length))
+        return np.asarray(profile, dtype=np.float64)
+    profile[window_const] = np.sqrt(length)
+    return profile
+
+
+def naive_distance_profile(series: np.ndarray, start: int, length: int) -> np.ndarray:
+    """Reference distance profile by explicit re-normalization (O(n l)).
+
+    Slow but obviously correct; used as ground truth in tests and by the
+    brute-force engines.  No exclusion zone is applied.
+    """
+    t = np.asarray(series, dtype=np.float64)
+    n_subs = t.size - length + 1
+    if not 0 <= start < n_subs:
+        raise InvalidParameterError(
+            f"query start {start} out of range for {n_subs} subsequences"
+        )
+    query = t[start : start + length]
+    profile = np.empty(n_subs, dtype=np.float64)
+    for j in range(n_subs):
+        profile[j] = znormalized_distance(query, t[j : j + length])
+    return profile
+
+
+def apply_exclusion_zone(
+    profile: np.ndarray, center: int, exclusion: int, value: float = np.inf
+) -> np.ndarray:
+    """Mask the trivial-match region around ``center`` in place.
+
+    The paper's exclusion zone covers positions within ``l/2`` of the
+    query (Section 2); ``exclusion`` is that half-width.  Returns the
+    profile for chaining.
+    """
+    lo = max(0, center - exclusion + 1)
+    hi = min(profile.size, center + exclusion)
+    profile[lo:hi] = value
+    return profile
+
+
+def exclusion_half_width(length: int) -> int:
+    """The paper's heuristic exclusion half-width, ``ceil(l / 2)``."""
+    return max(1, int(np.ceil(length / 2.0)))

@@ -1,0 +1,161 @@
+"""Sliding dot products and running window statistics.
+
+Two primitives power every O(n^2) matrix-profile engine in this library:
+
+* :func:`sliding_dot_product` — the dot product of one query against every
+  window of the series, computed in the frequency domain in O(n log n)
+  (Algorithm 3, line 5 of the paper).
+* :func:`moving_mean_std` — mean and standard deviation of every window of
+  one length, in O(n) via prefix sums (the running ``s`` / ``ss`` of
+  Algorithm 3, lines 6 and 13-14).
+
+:func:`prefix_sums` exposes the raw cumulative sums so that VALMOD can
+obtain the statistics of *any* window of *any* length in O(1) while the
+subsequence length grows (Algorithm 4 needs this).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.distance.znorm import CONSTANT_EPS, as_series
+
+__all__ = [
+    "sliding_dot_product",
+    "moving_mean_std",
+    "prefix_sums",
+    "window_mean_std_at",
+    "window_sums_at",
+]
+
+
+def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Dot product of ``query`` with every window of ``series``.
+
+    Returns a vector ``QT`` of length ``n - m + 1`` with
+    ``QT[j] = sum(query * series[j : j + m])``, computed by FFT
+    convolution.  For short queries NumPy's direct correlate is faster and
+    exact, so we pick per call.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    t = np.asarray(series, dtype=np.float64)
+    m = q.size
+    n = t.size
+    if m == 0:
+        raise InvalidParameterError("query must be non-empty")
+    if m > n:
+        raise InvalidParameterError(
+            f"query (length {m}) longer than series (length {n})"
+        )
+    if m <= 64:
+        # Direct correlation: exact and fast for short queries.
+        return np.correlate(t, q, mode="valid")
+    size = 1 << int(np.ceil(np.log2(n + m)))
+    fq = np.fft.rfft(q[::-1], size)
+    ft = np.fft.rfft(t, size)
+    conv = np.fft.irfft(fq * ft, size)
+    return conv[m - 1 : n]
+
+
+def moving_mean_std(series: np.ndarray, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean and std of every length-``window`` subsequence, in O(n).
+
+    Uses compensated prefix sums: the variance is computed as
+    ``ss/l - mu^2`` clipped at zero, which matches the paper's running-sum
+    formulation (Algorithm 3) and is accurate for the z-scored magnitudes
+    used throughout.
+    """
+    t = np.asarray(series, dtype=np.float64)
+    n = t.size
+    if window <= 0:
+        raise InvalidParameterError(f"window must be positive, got {window}")
+    if window > n:
+        raise InvalidParameterError(
+            f"window {window} longer than series of length {n}"
+        )
+    cumsum, cumsum_sq = prefix_sums(t)
+    sums = cumsum[window:] - cumsum[:-window]
+    sq_sums = cumsum_sq[window:] - cumsum_sq[:-window]
+    mu = sums / window
+    variance = sq_sums / window - mu * mu
+    np.maximum(variance, 0.0, out=variance)
+    # Catastrophic cancellation can report a tiny positive variance for a
+    # constant window (the prefix differences carry the absolute error of
+    # the running totals).  Recompute windows whose variance is below the
+    # cancellation noise floor directly; they are rare in real data but
+    # must be *exactly* zero for the constant-window conventions to fire.
+    noise_floor = (
+        64.0 * np.finfo(np.float64).eps * (cumsum_sq[window:] / window + mu * mu)
+    )
+    suspicious = np.where(variance <= noise_floor)[0]
+    for i in suspicious:
+        variance[i] = float(np.var(t[i : i + window]))
+    sigma = np.sqrt(variance)
+    return mu, sigma
+
+
+def prefix_sums(series: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative sum and cumulative squared sum, each with a leading zero.
+
+    With ``c, c2 = prefix_sums(T)`` the window ``T[i : i + l]`` has sum
+    ``c[i + l] - c[i]`` and squared sum ``c2[i + l] - c2[i]``.
+    """
+    t = np.asarray(series, dtype=np.float64)
+    cumsum = np.empty(t.size + 1, dtype=np.float64)
+    cumsum[0] = 0.0
+    np.cumsum(t, out=cumsum[1:])
+    cumsum_sq = np.empty(t.size + 1, dtype=np.float64)
+    cumsum_sq[0] = 0.0
+    np.cumsum(t * t, out=cumsum_sq[1:])
+    return cumsum, cumsum_sq
+
+
+def window_sums_at(
+    cumsum: np.ndarray, cumsum_sq: np.ndarray, start: int, length: int
+) -> Tuple[float, float]:
+    """Sum and squared sum of the window at ``start`` of ``length`` in O(1)."""
+    end = start + length
+    return (
+        float(cumsum[end] - cumsum[start]),
+        float(cumsum_sq[end] - cumsum_sq[start]),
+    )
+
+
+def window_mean_std_at(
+    cumsum: np.ndarray, cumsum_sq: np.ndarray, start: int, length: int
+) -> Tuple[float, float]:
+    """Mean and std of the window at ``start`` of ``length`` in O(1)."""
+    s, ss = window_sums_at(cumsum, cumsum_sq, start, length)
+    mu = s / length
+    variance = max(ss / length - mu * mu, 0.0)
+    return mu, variance**0.5
+
+
+def is_constant(sigma: float) -> bool:
+    """True when a window standard deviation denotes a constant window."""
+    return sigma < CONSTANT_EPS
+
+
+def validate_subsequence_length(n: int, length: int) -> int:
+    """Validate ``length`` against a series of ``n`` points.
+
+    Returns the number of subsequences ``n - length + 1``.  Mirrors the
+    checks done by :func:`repro.distance.znorm.as_series` for lengths.
+    """
+    if length < 2:
+        raise InvalidParameterError(
+            f"subsequence length must be at least 2, got {length}"
+        )
+    if length > n // 2:
+        raise InvalidParameterError(
+            f"subsequence length {length} must be at most half the series "
+            f"length ({n} points) so a non-overlapping match can exist"
+        )
+    return n - length + 1
+
+
+# Re-export for convenience in this module's callers.
+_ = as_series

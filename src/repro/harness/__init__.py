@@ -1,0 +1,36 @@
+"""Benchmark harness: parameter grids, timed runners, report formatting.
+
+The harness reproduces the paper's evaluation protocol (Section 6.1,
+Table 2) at a laptop scale: every grid keeps the paper's *ratios*
+(range/length, series/length) while shrinking absolute sizes — see
+DESIGN.md for the substitution rationale.  Scale everything back up with
+the ``REPRO_BENCH_SCALE`` environment variable or the ``scale`` argument.
+"""
+
+from repro.harness.config import BenchmarkGrid, default_grid
+from repro.harness.runner import ALGORITHMS, RunOutcome, run_algorithm
+from repro.harness.reporting import format_table, format_histogram
+from repro.harness.experiments import (
+    SweepResult,
+    sweep_motif_length,
+    sweep_motif_range,
+    sweep_motif_sets,
+    sweep_parameter_p,
+    sweep_series_size,
+)
+
+__all__ = [
+    "BenchmarkGrid",
+    "default_grid",
+    "ALGORITHMS",
+    "RunOutcome",
+    "run_algorithm",
+    "format_table",
+    "format_histogram",
+    "SweepResult",
+    "sweep_motif_length",
+    "sweep_motif_range",
+    "sweep_motif_sets",
+    "sweep_parameter_p",
+    "sweep_series_size",
+]

@@ -1,0 +1,241 @@
+"""Experiment drivers for the scalability figures (8, 12, 13, 14, 15).
+
+Each driver sweeps one dimension of Table 2 with the other dimensions at
+their defaults, over the requested datasets and algorithms, and returns
+rows ready for :func:`repro.harness.reporting.format_table`.  The bench
+modules under ``benchmarks/`` are thin wrappers over these drivers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.motif_sets import compute_motif_sets
+from repro.core.valmod import Valmod
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.harness.config import BenchmarkGrid, default_grid
+from repro.harness.runner import ALGORITHMS, RunOutcome, run_algorithm
+
+__all__ = [
+    "SweepResult",
+    "sweep_motif_length",
+    "sweep_motif_range",
+    "sweep_series_size",
+    "sweep_parameter_p",
+    "sweep_motif_sets",
+]
+
+
+@dataclass
+class SweepResult:
+    """Rows of one sweep: one row per (dataset, x-value), one column per algorithm."""
+
+    x_name: str
+    algorithms: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def headers(self) -> List[str]:
+        return ["dataset", self.x_name] + list(self.algorithms)
+
+    def table_rows(self) -> List[List[object]]:
+        out = []
+        for row in self.rows:
+            cells: List[object] = [row["dataset"], row["x"]]
+            for name in self.algorithms:
+                outcome: Optional[RunOutcome] = row.get(name)
+                cells.append(outcome.cell() if outcome is not None else "-")
+            out.append(cells)
+        return out
+
+    def speedup_vs(self, baseline: str, target: str = "VALMOD") -> List[float]:
+        """Per-row speedup of ``target`` over ``baseline`` (DNF rows skipped)."""
+        speedups = []
+        for row in self.rows:
+            b, v = row.get(baseline), row.get(target)
+            if b is None or v is None or b.dnf or v.dnf or v.seconds == 0:
+                continue
+            speedups.append(b.seconds / v.seconds)
+        return speedups
+
+
+def _sweep(
+    x_name: str,
+    x_values: Sequence[int],
+    make_params,
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    grid: BenchmarkGrid,
+    seed: int,
+    loader=load_dataset,
+) -> SweepResult:
+    result = SweepResult(x_name=x_name, algorithms=list(algorithms))
+    for dataset in datasets:
+        for x in x_values:
+            n, l_min, l_max = make_params(x)
+            series = loader(dataset, n, seed=seed)
+            row: Dict[str, object] = {"dataset": dataset, "x": x}
+            for name in algorithms:
+                row[name] = run_algorithm(
+                    name,
+                    series,
+                    l_min,
+                    l_max,
+                    p=grid.default_p,
+                    timeout_seconds=grid.timeout_seconds,
+                )
+            result.rows.append(row)
+    return result
+
+
+def sweep_motif_length(
+    datasets: Sequence[str] = DATASET_NAMES,
+    algorithms: Sequence[str] = tuple(ALGORITHMS),
+    grid: Optional[BenchmarkGrid] = None,
+    seed: int = 0,
+    loader=load_dataset,
+) -> SweepResult:
+    """Figure 8: runtime vs l_min at the default range and size."""
+    grid = grid or default_grid()
+    return _sweep(
+        "l_min",
+        grid.motif_lengths,
+        lambda length: (grid.default_size, length, length + grid.default_range),
+        datasets,
+        algorithms,
+        grid,
+        seed,
+        loader=loader,
+    )
+
+
+def sweep_motif_range(
+    datasets: Sequence[str] = DATASET_NAMES,
+    algorithms: Sequence[str] = tuple(ALGORITHMS),
+    grid: Optional[BenchmarkGrid] = None,
+    seed: int = 0,
+    loader=load_dataset,
+) -> SweepResult:
+    """Figure 12: runtime vs range width at the default length and size."""
+    grid = grid or default_grid()
+    return _sweep(
+        "range",
+        grid.motif_ranges,
+        lambda rng_: (grid.default_size, grid.default_length, grid.default_length + rng_),
+        datasets,
+        algorithms,
+        grid,
+        seed,
+        loader=loader,
+    )
+
+
+def sweep_series_size(
+    datasets: Sequence[str] = DATASET_NAMES,
+    algorithms: Sequence[str] = tuple(ALGORITHMS),
+    grid: Optional[BenchmarkGrid] = None,
+    seed: int = 0,
+    loader=load_dataset,
+) -> SweepResult:
+    """Figure 13: runtime vs series size at the default length and range."""
+    grid = grid or default_grid()
+    return _sweep(
+        "n",
+        grid.series_sizes,
+        lambda n: (n, grid.default_length, grid.default_length + grid.default_range),
+        datasets,
+        algorithms,
+        grid,
+        seed,
+        loader=loader,
+    )
+
+
+def sweep_parameter_p(
+    datasets: Sequence[str] = DATASET_NAMES,
+    grid: Optional[BenchmarkGrid] = None,
+    seed: int = 0,
+    loader=load_dataset,
+) -> List[Dict[str, object]]:
+    """Figure 14: VALMOD runtime and |subMP| trajectory per p value."""
+    grid = grid or default_grid()
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        series = loader(dataset, grid.default_size, seed=seed)
+        for p in grid.p_values:
+            start = time.perf_counter()
+            run = Valmod(
+                series,
+                grid.default_length,
+                grid.default_length + grid.default_range,
+                p=p,
+            ).run()
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "p": p,
+                    "seconds": elapsed,
+                    "submp_sizes": run.stats.submp_sizes(),
+                    "fast_lengths": run.stats.n_fast_lengths,
+                    "full_recomputes": run.stats.n_full_recomputes,
+                }
+            )
+    return rows
+
+
+def sweep_motif_sets(
+    datasets: Sequence[str] = DATASET_NAMES,
+    grid: Optional[BenchmarkGrid] = None,
+    seed: int = 0,
+    loader=load_dataset,
+) -> List[Dict[str, object]]:
+    """Figure 15: motif-set extraction time vs K and vs D.
+
+    Reports the VALMP build time once per dataset and the (much smaller)
+    set-extraction time per parameter value, mirroring the paper's table
+    layout.
+    """
+    grid = grid or default_grid()
+    rows: List[Dict[str, object]] = []
+    k_max = max(grid.k_values + [grid.default_k])
+    for dataset in datasets:
+        series = loader(dataset, grid.default_size, seed=seed)
+        start = time.perf_counter()
+        run = Valmod(
+            series,
+            grid.default_length,
+            grid.default_length + grid.default_range,
+            p=grid.default_p,
+            track_top_k=k_max,
+        ).run()
+        valmp_seconds = time.perf_counter() - start
+        pairs = run.best_k_pairs()
+        for k in grid.k_values:
+            start = time.perf_counter()
+            sets = compute_motif_sets(series, pairs[:k], float(grid.default_d))
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "vary": "K",
+                    "value": k,
+                    "seconds": time.perf_counter() - start,
+                    "valmp_seconds": valmp_seconds,
+                    "n_sets": len(sets),
+                }
+            )
+        for d in grid.d_values:
+            start = time.perf_counter()
+            sets = compute_motif_sets(series, pairs[: grid.default_k], float(d))
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "vary": "D",
+                    "value": d,
+                    "seconds": time.perf_counter() - start,
+                    "valmp_seconds": valmp_seconds,
+                    "n_sets": len(sets),
+                }
+            )
+    return rows

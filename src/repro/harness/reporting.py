@@ -1,0 +1,44 @@
+"""Plain-text rendering of benchmark tables and distributions.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent (aligned columns, ASCII
+histograms for the distribution figures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_histogram", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align a list of rows under headers."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines: List[str] = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    counts: np.ndarray, edges: np.ndarray, width: int = 40
+) -> str:
+    """ASCII histogram: one bar per bin."""
+    counts = np.asarray(counts)
+    peak = counts.max() if counts.size else 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(f"[{edges[i]:8.3f}, {edges[i + 1]:8.3f})  {count:>8d}  {bar}")
+    return "\n".join(lines)
+
+
+def format_series(label: str, values: Sequence[float], fmt: str = "{:.3f}") -> str:
+    """One labeled row of values (a plotted line, as text)."""
+    return f"{label:>16}: " + "  ".join(fmt.format(v) for v in values)

@@ -1,0 +1,99 @@
+"""Timed, deadline-bounded execution of the four competing algorithms.
+
+``run_algorithm`` gives every competitor the same interface the paper's
+benchmark used: a series, a length range, and a wall-clock budget.  Runs
+that exceed the budget are reported as DNF ("did not finish") rather
+than crashing the sweep — the paper's plots contain exactly such
+truncated bars.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.baselines.moen import moen
+from repro.baselines.quick_motif import quick_motif
+from repro.baselines.stomp_range import stomp_range
+from repro.core.valmod import Valmod
+from repro.exceptions import BudgetExceededError, InvalidParameterError
+from repro.types import MotifPair
+
+__all__ = ["ALGORITHMS", "RunOutcome", "run_algorithm"]
+
+
+@dataclass
+class RunOutcome:
+    """Result of one timed run."""
+
+    algorithm: str
+    seconds: float
+    dnf: bool
+    motif_pairs: Optional[Dict[int, MotifPair]] = None
+
+    def cell(self) -> str:
+        """Render as a benchmark table cell."""
+        return "DNF" if self.dnf else f"{self.seconds:.2f}s"
+
+
+def _run_valmod(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+    # VALMOD has no internal deadline: it is the fast competitor and its
+    # worst case is bounded by the STOMP fallback it already contains.
+    return Valmod(series, l_min, l_max, p=p).run().motif_pairs
+
+
+def _run_stomp(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+    return stomp_range(series, l_min, l_max, deadline=deadline)
+
+
+def _run_moen(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+    return moen(series, l_min, l_max, deadline=deadline)
+
+
+def _run_quick_motif(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+    return quick_motif(series, l_min, l_max, deadline=deadline)
+
+
+ALGORITHMS: Dict[str, Callable] = {
+    "VALMOD": _run_valmod,
+    "STOMP": _run_stomp,
+    "QUICKMOTIF": _run_quick_motif,
+    "MOEN": _run_moen,
+}
+
+
+def run_algorithm(
+    name: str,
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    p: int = 50,
+    timeout_seconds: float = 120.0,
+) -> RunOutcome:
+    """Run one competitor under a wall-clock budget.
+
+    The budget is enforced cooperatively (the baselines check a deadline
+    between units of work), so a DNF is reported slightly *after* the
+    budget passes — the same semantics as killing a C process.
+    """
+    if name not in ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; choose from {', '.join(ALGORITHMS)}"
+        )
+    start = time.perf_counter()
+    deadline = start + timeout_seconds
+    try:
+        pairs = ALGORITHMS[name](series, l_min, l_max, p, deadline)
+    except BudgetExceededError:
+        return RunOutcome(
+            algorithm=name, seconds=time.perf_counter() - start, dnf=True
+        )
+    return RunOutcome(
+        algorithm=name,
+        seconds=time.perf_counter() - start,
+        dnf=False,
+        motif_pairs=pairs,
+    )

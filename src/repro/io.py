@@ -1,0 +1,125 @@
+"""Series and result I/O.
+
+* :func:`load_series` — one-column text/CSV (optionally a chosen column
+  of a multi-column file) or ``.npy``.
+* :func:`save_series` — the reverse.
+* :func:`result_to_dict` / :func:`save_result_json` — serialize a
+  VALMOD run (per-length motifs, VALMP summary, run statistics) to
+  JSON for downstream tooling.
+* :func:`motif_sets_to_dict` — the same for Problem-2 output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.valmod import ValmodResult
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.types import MotifSet
+
+__all__ = [
+    "load_series",
+    "save_series",
+    "result_to_dict",
+    "save_result_json",
+    "motif_sets_to_dict",
+]
+
+PathLike = Union[str, Path]
+
+
+def load_series(
+    path: PathLike,
+    column: Optional[int] = None,
+    delimiter: Optional[str] = None,
+) -> np.ndarray:
+    """Load a 1-D series from ``.npy`` or a text/CSV file.
+
+    Multi-column text files require ``column``; single-column files load
+    directly.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise InvalidSeriesError(f"no such file: {path}")
+    if path.suffix == ".npy":
+        data = np.load(path)
+    else:
+        data = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+        if data.shape[1] == 1 and column is None:
+            data = data[:, 0]
+        elif column is not None:
+            if not 0 <= column < data.shape[1]:
+                raise InvalidParameterError(
+                    f"column {column} out of range for {data.shape[1]} columns"
+                )
+            data = data[:, column]
+        else:
+            raise InvalidParameterError(
+                f"{path} has {data.shape[1]} columns; pass column=<index>"
+            )
+    return as_series(np.ravel(data) if np.ndim(data) > 1 else data)
+
+
+def save_series(path: PathLike, series: np.ndarray) -> None:
+    """Save a series as ``.npy`` or one-column text, by extension."""
+    path = Path(path)
+    t = as_series(series, min_length=1)
+    if path.suffix == ".npy":
+        np.save(path, t)
+    else:
+        np.savetxt(path, t)
+
+
+def result_to_dict(result: ValmodResult) -> Dict:
+    """JSON-ready dictionary of a VALMOD run."""
+    return {
+        "l_min": result.l_min,
+        "l_max": result.l_max,
+        "p": result.p,
+        "motif_pairs": {
+            str(length): {
+                "a": pair.a,
+                "b": pair.b,
+                "distance": pair.distance,
+                "normalized_distance": pair.normalized_distance,
+            }
+            for length, pair in sorted(result.motif_pairs.items())
+        },
+        "best": {
+            "length": result.best_motif_pair().length,
+            "a": result.best_motif_pair().a,
+            "b": result.best_motif_pair().b,
+            "normalized_distance": result.best_motif_pair().normalized_distance,
+        },
+        "stats": {
+            "total_seconds": result.stats.total_seconds,
+            "fast_lengths": result.stats.n_fast_lengths,
+            "partial_recomputes": result.stats.n_partial_recomputes,
+            "full_recomputes": result.stats.n_full_recomputes,
+        },
+    }
+
+
+def save_result_json(path: PathLike, result: ValmodResult) -> None:
+    """Write a VALMOD run to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def motif_sets_to_dict(sets: List[MotifSet]) -> List[Dict]:
+    """JSON-ready list of motif sets."""
+    return [
+        {
+            "length": ms.length,
+            "radius": ms.radius,
+            "frequency": ms.frequency,
+            "seed": {"a": ms.pair.a, "b": ms.pair.b,
+                     "distance": ms.pair.distance},
+            "members": list(ms.members),
+        }
+        for ms in sets
+    ]

@@ -1,0 +1,45 @@
+"""Matrix-profile engines (the STOMP/STAMP substrate of the paper).
+
+A matrix profile (Definition 2.5) stores, for every subsequence of a
+series, the z-normalized Euclidean distance to its nearest non-trivial
+neighbor, plus that neighbor's offset.  The motif pair of a length is the
+smallest matrix-profile entry.
+
+Engines
+-------
+:func:`repro.matrixprofile.brute.brute_force_matrix_profile`
+    O(n^2 l) reference implementation used as ground truth.
+:func:`repro.matrixprofile.stomp.stomp`
+    The O(n^2) incremental-dot-product algorithm of Zhu et al. (2016),
+    which Algorithm 3 of the paper extends.
+:func:`repro.matrixprofile.stamp.stamp`
+    MASS-based engine; supports anytime (random-order, early-stop) runs.
+"""
+
+from repro.matrixprofile.exclusion import exclusion_zone_half_width, is_trivial_match
+from repro.matrixprofile.index import MatrixProfile
+from repro.matrixprofile.brute import brute_force_matrix_profile
+from repro.matrixprofile.stomp import stomp
+from repro.matrixprofile.stamp import stamp
+from repro.matrixprofile.scrimp import pre_scrimp, scrimp
+from repro.matrixprofile.streaming import StreamingMatrixProfile
+from repro.matrixprofile.leftright import LeftRightProfiles, stomp_left_right
+from repro.matrixprofile.join import ab_join_motif, stomp_ab_join
+from repro.matrixprofile.mpdist import mpdist
+
+__all__ = [
+    "MatrixProfile",
+    "exclusion_zone_half_width",
+    "is_trivial_match",
+    "brute_force_matrix_profile",
+    "stomp",
+    "stamp",
+    "scrimp",
+    "pre_scrimp",
+    "StreamingMatrixProfile",
+    "LeftRightProfiles",
+    "stomp_left_right",
+    "ab_join_motif",
+    "stomp_ab_join",
+    "mpdist",
+]

@@ -1,0 +1,31 @@
+"""Exclusion-zone (trivial match) policy.
+
+The paper follows the matrix-profile convention: a match between windows
+``i`` and ``j`` is *trivial* when ``|i - j| < l / 2`` — a subsequence
+matched against itself or a heavily overlapping copy (Section 2).  The
+half-width is centralized here so every engine, baseline, and test uses
+the same rule.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["exclusion_zone_half_width", "is_trivial_match"]
+
+
+def exclusion_zone_half_width(length: int) -> int:
+    """Half-width of the trivial-match zone for subsequence length ``l``.
+
+    The paper sets the zone heuristically to ``l/2``; we round up so the
+    zone never vanishes and so odd lengths behave like the reference
+    implementations.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    return max(1, int(math.ceil(length / 2.0)))
+
+
+def is_trivial_match(i: int, j: int, length: int) -> bool:
+    """True when windows ``i`` and ``j`` of length ``l`` trivially match."""
+    return abs(i - j) < exclusion_zone_half_width(length)

@@ -1,0 +1,133 @@
+"""The :class:`MatrixProfile` result object.
+
+Bundles the profile vector, the profile index (nearest-neighbor offsets),
+and the subsequence length, and offers the queries the paper derives from
+them: the motif pair (the minimum), a ranked list of top-k non-overlapping
+motif pairs, and discords (the maxima — mentioned by the paper as the
+natural companion application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NotComputedError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.types import MotifPair
+
+__all__ = ["MatrixProfile"]
+
+
+@dataclass
+class MatrixProfile:
+    """Matrix profile + index for one subsequence length.
+
+    Attributes
+    ----------
+    profile:
+        ``profile[i]`` is the z-normalized Euclidean distance between
+        subsequence ``i`` and its nearest non-trivial neighbor.
+    index:
+        ``index[i]`` is that neighbor's offset (-1 when undefined).
+    length:
+        The subsequence length ``l``.
+    """
+
+    profile: np.ndarray
+    index: np.ndarray
+    length: int
+
+    def __post_init__(self) -> None:
+        self.profile = np.asarray(self.profile, dtype=np.float64)
+        self.index = np.asarray(self.index, dtype=np.int64)
+        if self.profile.shape != self.index.shape:
+            raise InvalidParameterError(
+                "profile and index must have the same shape, got "
+                f"{self.profile.shape} vs {self.index.shape}"
+            )
+        if self.length < 2:
+            raise InvalidParameterError(
+                f"subsequence length must be at least 2, got {self.length}"
+            )
+
+    def __len__(self) -> int:
+        return self.profile.size
+
+    @property
+    def exclusion(self) -> int:
+        """Trivial-match half-width for this length."""
+        return exclusion_zone_half_width(self.length)
+
+    def motif_pair(self) -> MotifPair:
+        """The motif pair: the two subsequences realizing the profile minimum."""
+        finite = np.isfinite(self.profile)
+        if not finite.any():
+            raise NotComputedError("matrix profile has no finite entries")
+        a = int(np.argmin(np.where(finite, self.profile, np.inf)))
+        b = int(self.index[a])
+        if b < 0:
+            raise NotComputedError(f"profile index undefined at position {a}")
+        return MotifPair.build(a, b, self.length, float(self.profile[a]))
+
+    def top_k_pairs(self, k: int) -> List[MotifPair]:
+        """Top-k motif pairs with mutually non-overlapping occurrences.
+
+        Repeatedly takes the profile minimum and masks the exclusion zone
+        around both members, producing the ranked list of Definition 2.3's
+        note ("if we remove the motif pair ... the second smallest becomes
+        the new motif pair").
+        """
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        working = self.profile.copy()
+        working[~np.isfinite(working)] = np.inf
+        pairs: List[MotifPair] = []
+        occupied: List[int] = []
+        zone = self.exclusion
+        while len(pairs) < k:
+            a = int(np.argmin(working))
+            if not np.isfinite(working[a]):
+                break
+            b = int(self.index[a])
+            # Skip entries whose stored neighbor falls into a previous
+            # pair's zone: the matrix profile only remembers the first
+            # nearest neighbor, so such entries cannot contribute a
+            # disjoint pair.
+            if b < 0 or any(abs(b - o) < zone for o in occupied):
+                working[a] = np.inf
+                continue
+            pairs.append(MotifPair.build(a, b, self.length, float(working[a])))
+            for center in (a, b):
+                occupied.append(center)
+                lo = max(0, center - zone + 1)
+                hi = min(working.size, center + zone)
+                working[lo:hi] = np.inf
+        return pairs
+
+    def discords(self, k: int = 1) -> List[int]:
+        """Offsets of the k most anomalous subsequences (profile maxima)."""
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        working = np.where(np.isfinite(self.profile), self.profile, -np.inf)
+        zone = self.exclusion
+        result: List[int] = []
+        while len(result) < k:
+            a = int(np.argmax(working))
+            if not np.isfinite(working[a]) or working[a] == -np.inf:
+                break
+            result.append(a)
+            lo = max(0, a - zone + 1)
+            hi = min(working.size, a + zone)
+            working[lo:hi] = -np.inf
+        return result
+
+    def allclose(self, other: "MatrixProfile", atol: float = 1e-6) -> bool:
+        """Profile equality within tolerance (indices may differ on ties)."""
+        return (
+            self.length == other.length
+            and self.profile.shape == other.profile.shape
+            and bool(np.allclose(self.profile, other.profile, atol=atol))
+        )

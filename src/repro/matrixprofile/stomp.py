@@ -1,0 +1,80 @@
+"""STOMP: the O(n^2) matrix-profile engine of Zhu et al. (2016).
+
+STOMP exploits the overlap of consecutive queries: the sliding dot
+products of query ``i`` derive from those of query ``i-1`` in O(1) per
+entry (Algorithm 3, line 11 of the paper).  Only the first row needs an
+FFT.
+
+:func:`iterate_stomp_rows` exposes the per-row distance profiles (and raw
+dot products) as a generator so VALMOD's Algorithm 3 — which is STOMP plus
+lower-bound bookkeeping — can reuse the exact same inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.distance.profile import apply_exclusion_zone, distance_profile_from_qt
+from repro.distance.sliding import (
+    moving_mean_std,
+    sliding_dot_product,
+    validate_subsequence_length,
+)
+from repro.distance.znorm import as_series
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.index import MatrixProfile
+
+__all__ = ["stomp", "iterate_stomp_rows"]
+
+
+def iterate_stomp_rows(
+    series: np.ndarray,
+    length: int,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    apply_exclusion: bool = True,
+) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+    """Yield ``(i, qt, distance_profile)`` for every query ``i``.
+
+    ``qt`` is the vector of dot products of query ``i`` against all
+    windows; the distance profile is Eq. 3 applied to it, with the
+    exclusion zone already masked to ``inf`` when ``apply_exclusion``.
+
+    The yielded arrays are reused across iterations — callers that keep
+    them must copy.
+    """
+    t = series
+    n_subs = t.size - length + 1
+    zone = exclusion_zone_half_width(length)
+    qt_first = sliding_dot_product(t[:length], t)
+    qt = qt_first.copy()
+    # Cached slices for the O(1) per-entry dot-product update:
+    #   QT_i[j] = QT_{i-1}[j-1] - t[j-1] t[i-1] + t[j+l-1] t[i+l-1]
+    heads = t[: n_subs - 1]
+    tails = t[length : length + n_subs - 1]
+    for i in range(n_subs):
+        if i > 0:
+            qt[1:] = qt[:-1] - heads * t[i - 1] + tails * t[i + length - 1]
+            qt[0] = qt_first[i]
+        profile = distance_profile_from_qt(
+            qt, length, float(mu[i]), float(sigma[i]), mu, sigma
+        )
+        if apply_exclusion:
+            apply_exclusion_zone(profile, i, zone)
+        yield i, qt, profile
+
+
+def stomp(series: np.ndarray, length: int) -> MatrixProfile:
+    """Compute the full matrix profile with STOMP."""
+    t = as_series(series, min_length=4)
+    n_subs = validate_subsequence_length(t.size, length)
+    mu, sigma = moving_mean_std(t, length)
+    profile = np.empty(n_subs, dtype=np.float64)
+    index = np.empty(n_subs, dtype=np.int64)
+    for i, _, row in iterate_stomp_rows(t, length, mu, sigma):
+        j = int(np.argmin(row))
+        profile[i] = row[j]
+        index[i] = j if np.isfinite(row[j]) else -1
+    return MatrixProfile(profile=profile, index=index, length=length)

@@ -1,0 +1,27 @@
+"""Multidimensional motif discovery (mSTAMP, Matrix Profile VI).
+
+Real deployments of the paper's motivating domains (driving-stress
+physiology: ECG + EMG + respiration; power: per-phase consumption)
+record *several* aligned series.  A k-dimensional motif is a pattern
+that repeats in some subset of k dimensions simultaneously — and the
+right k is rarely known, so mSTAMP (Yeh, Kavantzas, Keogh 2017) returns
+the motif for *every* k at once, the same all-answers philosophy VALMOD
+applies to lengths.
+
+API: :func:`repro.multidim.mstamp.mstamp` and
+:func:`repro.multidim.mstamp.multidim_motifs`.
+"""
+
+from repro.multidim.mstamp import (
+    MultidimMatrixProfile,
+    MultidimMotif,
+    mstamp,
+    multidim_motifs,
+)
+
+__all__ = [
+    "MultidimMatrixProfile",
+    "MultidimMotif",
+    "mstamp",
+    "multidim_motifs",
+]

@@ -1,0 +1,28 @@
+"""Cross-series tools: consensus motifs, MPdist matrices, snippets.
+
+The paper's workloads often come as *collections* of recordings (many
+insects, many drivers, many days of power data).  These tools answer
+the collection-level questions:
+
+* :func:`repro.multiseries.consensus.consensus_motif` — the pattern
+  conserved across ALL series (Ostinato / Matrix Profile XV).
+* :func:`repro.multiseries.consensus.mpdist_matrix` — pairwise MPdist
+  for clustering recordings.
+* :func:`repro.multiseries.snippets.find_snippets` — the most
+  representative subsequences of one long series (Matrix Profile XIII).
+"""
+
+from repro.multiseries.consensus import (
+    ConsensusMotif,
+    consensus_motif,
+    mpdist_matrix,
+)
+from repro.multiseries.snippets import Snippet, find_snippets
+
+__all__ = [
+    "ConsensusMotif",
+    "consensus_motif",
+    "mpdist_matrix",
+    "Snippet",
+    "find_snippets",
+]

@@ -1,0 +1,38 @@
+"""Shapelet discovery — the second application the paper's Section 8 names.
+
+A *shapelet* (Ye & Keogh 2009) is a subsequence whose distance to a
+series discriminates between classes: "does this series contain a close
+match to this shape?".  The machinery is exactly the library's distance
+substrate (MASS distance profiles, z-normalized distance), plus an
+information-gain search over candidate subsequences — and motif
+discovery is a natural candidate generator, which is the VALMOD
+connection: motifs of a class are the recurring shapes most likely to
+characterize it, *at whatever length they occur*.
+
+API
+---
+:func:`repro.shapelets.discovery.find_shapelets`
+    search candidates over a length range, rank by information gain.
+:class:`repro.shapelets.classifier.ShapeletClassifier`
+    shapelet-transform + nearest-centroid classification.
+"""
+
+from repro.shapelets.evaluation import (
+    information_gain,
+    best_split,
+    series_to_shapelet_distance,
+)
+from repro.shapelets.candidates import motif_candidates, window_candidates
+from repro.shapelets.discovery import Shapelet, find_shapelets
+from repro.shapelets.classifier import ShapeletClassifier
+
+__all__ = [
+    "information_gain",
+    "best_split",
+    "series_to_shapelet_distance",
+    "motif_candidates",
+    "window_candidates",
+    "Shapelet",
+    "find_shapelets",
+    "ShapeletClassifier",
+]

@@ -1,0 +1,73 @@
+"""Candidate shapelet generation.
+
+Two strategies:
+
+* :func:`window_candidates` — the classic exhaustive-ish enumeration:
+  strided windows of every length in the range, from every training
+  series.
+* :func:`motif_candidates` — the VALMOD-powered shortcut: the
+  variable-length motifs of each series are its most *recurring*
+  shapes, so they concentrate the shapes worth testing as shapelets.
+  This slashes the candidate count (motifs per series instead of all
+  windows) while keeping the discriminative shapes, in the spirit of
+  the paper's shapelet outlook.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.valmod import Valmod
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["window_candidates", "motif_candidates"]
+
+Candidate = Tuple[np.ndarray, int, int]  # (values, source series idx, start)
+
+
+def window_candidates(
+    series_list: Sequence[np.ndarray],
+    lengths: Sequence[int],
+    stride: int = 1,
+) -> List[Candidate]:
+    """Strided windows of each requested length from every series."""
+    if stride <= 0:
+        raise InvalidParameterError(f"stride must be positive, got {stride}")
+    out: List[Candidate] = []
+    for source, raw in enumerate(series_list):
+        t = as_series(raw, min_length=4)
+        for length in lengths:
+            if length > t.size:
+                continue
+            for start in range(0, t.size - length + 1, stride):
+                out.append((t[start : start + length].copy(), source, start))
+    return out
+
+
+def motif_candidates(
+    series_list: Sequence[np.ndarray],
+    l_min: int,
+    l_max: int,
+    per_series: int = 3,
+    p: int = 20,
+) -> List[Candidate]:
+    """The top variable-length motifs of each series, as candidates.
+
+    Runs VALMOD per series and takes each of the best ``per_series``
+    cross-length motif pairs' first member.  Series too short for the
+    range contribute nothing.
+    """
+    from repro.core.ranking import top_motifs_across_lengths
+
+    out: List[Candidate] = []
+    for source, raw in enumerate(series_list):
+        t = as_series(raw, min_length=8)
+        if l_max > t.size // 2:
+            continue
+        run = Valmod(t, l_min, l_max, p=p).run()
+        for pair in top_motifs_across_lengths(run.motif_pairs, per_series):
+            out.append((t[pair.a : pair.a + pair.length].copy(), source, pair.a))
+    return out

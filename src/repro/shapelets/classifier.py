@@ -1,0 +1,104 @@
+"""Shapelet-transform classifier.
+
+Each series maps to a feature vector of its distances to the discovered
+shapelets; classification is nearest class centroid in that feature
+space.  Deliberately minimal — the point is to demonstrate the
+shapelet *discovery* machinery end to end, not to compete with a
+full-blown learner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NotComputedError
+from repro.shapelets.discovery import Shapelet, find_shapelets
+
+__all__ = ["ShapeletClassifier"]
+
+
+class ShapeletClassifier:
+    """Fit shapelets on labeled series, classify new series.
+
+    Parameters mirror :func:`find_shapelets`; ``n_shapelets`` is the
+    feature dimensionality.
+    """
+
+    def __init__(
+        self,
+        l_min: int,
+        l_max: int,
+        n_shapelets: int = 3,
+        strategy: str = "motif",
+    ) -> None:
+        if n_shapelets <= 0:
+            raise InvalidParameterError(
+                f"n_shapelets must be positive, got {n_shapelets}"
+            )
+        self.l_min = l_min
+        self.l_max = l_max
+        self.n_shapelets = n_shapelets
+        self.strategy = strategy
+        self.shapelets_: List[Shapelet] = []
+        self._centroids: Dict[object, np.ndarray] = {}
+
+    def transform(self, series_list: Sequence[np.ndarray]) -> np.ndarray:
+        """Shapelet-distance feature matrix, shape (n_series, n_shapelets)."""
+        if not self.shapelets_:
+            raise NotComputedError("classifier not fitted")
+        return np.array(
+            [
+                [shapelet.distance_to(series) for shapelet in self.shapelets_]
+                for series in series_list
+            ]
+        )
+
+    def fit(
+        self, series_list: Sequence[np.ndarray], labels: Sequence
+    ) -> "ShapeletClassifier":
+        """Discover shapelets and the per-class feature centroids."""
+        self.shapelets_ = find_shapelets(
+            series_list,
+            labels,
+            self.l_min,
+            self.l_max,
+            k=self.n_shapelets,
+            strategy=self.strategy,
+        )
+        features = self.transform(series_list)
+        labels = list(labels)
+        self._centroids = {
+            label: features[[i for i, lab in enumerate(labels) if lab == label]].mean(
+                axis=0
+            )
+            for label in set(labels)
+        }
+        return self
+
+    def predict(self, series_list: Sequence[np.ndarray]) -> List:
+        """Nearest-centroid labels for new series."""
+        if not self._centroids:
+            raise NotComputedError("classifier not fitted")
+        features = self.transform(series_list)
+        out = []
+        for row in features:
+            out.append(
+                min(
+                    self._centroids,
+                    key=lambda label: float(
+                        np.linalg.norm(row - self._centroids[label])
+                    ),
+                )
+            )
+        return out
+
+    def score(self, series_list: Sequence[np.ndarray], labels: Sequence) -> float:
+        """Accuracy on a labeled set."""
+        predictions = self.predict(series_list)
+        labels = list(labels)
+        if len(labels) != len(predictions):
+            raise InvalidParameterError("series and labels must align")
+        hits = sum(1 for p, lab in zip(predictions, labels) if p == lab)
+        return hits / len(labels)

@@ -1,0 +1,119 @@
+"""Shapelet discovery: rank candidates by information gain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.shapelets.candidates import motif_candidates, window_candidates
+from repro.shapelets.evaluation import best_split, series_to_shapelet_distance
+
+__all__ = ["Shapelet", "find_shapelets"]
+
+
+@dataclass(frozen=True, order=True)
+class Shapelet:
+    """One discovered shapelet with its decision threshold.
+
+    Ordering puts the best shapelet first: higher gain, then wider
+    margin.
+    """
+
+    sort_key: tuple
+    values: np.ndarray = field(compare=False, repr=False)
+    gain: float = field(compare=False)
+    threshold: float = field(compare=False)
+    margin: float = field(compare=False)
+    source_series: int = field(compare=False)
+    start: int = field(compare=False)
+
+    @property
+    def length(self) -> int:
+        return self.values.size
+
+    def distance_to(self, series: np.ndarray) -> float:
+        """Length-normalized distance of a series' best window."""
+        return series_to_shapelet_distance(series, self.values)
+
+    def predicts_close(self, series: np.ndarray) -> bool:
+        """True when the series matches the shapelet within threshold."""
+        return self.distance_to(series) <= self.threshold
+
+
+def find_shapelets(
+    series_list: Sequence[np.ndarray],
+    labels: Sequence,
+    l_min: int,
+    l_max: int,
+    k: int = 3,
+    strategy: str = "motif",
+    stride: int = 4,
+    per_series: int = 3,
+) -> List[Shapelet]:
+    """Top-k shapelets for a labeled collection of series.
+
+    ``strategy`` is ``"motif"`` (VALMOD candidates — fast, the
+    recommended default) or ``"window"`` (strided enumeration —
+    exhaustive-ish, slow).  Shapelets are ranked by information gain,
+    margin-tie-broken, and deduplicated by source region.
+    """
+    if len(series_list) != len(list(labels)):
+        raise InvalidParameterError(
+            f"{len(series_list)} series vs {len(list(labels))} labels"
+        )
+    if len(set(labels)) < 2:
+        raise InvalidParameterError("need at least two classes")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+
+    if strategy == "motif":
+        candidates = motif_candidates(
+            series_list, l_min, l_max, per_series=per_series
+        )
+    elif strategy == "window":
+        step = max(1, (l_max - l_min) // 4) if l_max > l_min else 1
+        lengths = list(range(l_min, l_max + 1, step))
+        candidates = window_candidates(series_list, lengths, stride=stride)
+    else:
+        raise InvalidParameterError(
+            f"unknown strategy {strategy!r}; use 'motif' or 'window'"
+        )
+    if not candidates:
+        raise InvalidParameterError(
+            "no candidates generated; check lengths against series sizes"
+        )
+
+    scored: List[Shapelet] = []
+    for values, source, start in candidates:
+        distances = np.array(
+            [series_to_shapelet_distance(s, values) for s in series_list]
+        )
+        gain, threshold, margin = best_split(distances, labels)
+        scored.append(
+            Shapelet(
+                sort_key=(-gain, -margin),
+                values=values,
+                gain=gain,
+                threshold=threshold,
+                margin=margin,
+                source_series=source,
+                start=start,
+            )
+        )
+
+    result: List[Shapelet] = []
+    for shapelet in sorted(scored):
+        overlaps = any(
+            other.source_series == shapelet.source_series
+            and abs(other.start - shapelet.start) < min(other.length, shapelet.length)
+            for other in result
+        )
+        if overlaps:
+            continue
+        result.append(shapelet)
+        if len(result) >= k:
+            break
+    return result

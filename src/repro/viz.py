@@ -1,0 +1,80 @@
+"""Terminal visualization: sparklines and profile renderings.
+
+Matplotlib-free plotting for examples, the CLI, and quick exploration:
+unicode sparklines for series and profiles, and an annotated motif view
+that marks discovered occurrences on the series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["sparkline", "profile_view", "motif_view"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """One-line unicode rendering of a series (downsampled to ``width``)."""
+    data = np.asarray(list(values), dtype=np.float64)
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        raise InvalidParameterError("nothing to render")
+    if width <= 0:
+        raise InvalidParameterError(f"width must be positive, got {width}")
+    if data.size > width:
+        # bucket means preserve the envelope better than striding
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+             for a, b in zip(edges, edges[1:])]
+        )
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _BARS[0] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(_BARS) - 1)
+    return "".join(_BARS[int(round(v))] for v in scaled)
+
+
+def profile_view(
+    profile: Sequence[float], width: int = 80, label: str = "profile"
+) -> str:
+    """Sparkline of a (matrix) profile plus its min/max annotations."""
+    data = np.asarray(list(profile), dtype=np.float64)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        raise InvalidParameterError("profile has no finite entries")
+    line = sparkline(np.where(np.isfinite(data), data, finite.max()), width)
+    return (
+        f"{label}: {line}\n"
+        f"{'':{len(label)}}  min={finite.min():.3f} "
+        f"max={finite.max():.3f} n={data.size}"
+    )
+
+
+def motif_view(
+    series: Sequence[float],
+    occurrences: Iterable[int],
+    length: int,
+    width: int = 80,
+) -> str:
+    """Series sparkline with a marker row underneath the occurrences."""
+    data = np.asarray(list(series), dtype=np.float64)
+    if length <= 0 or length > data.size:
+        raise InvalidParameterError(f"bad motif length {length}")
+    line = sparkline(data, width)
+    rendered = min(width, data.size)
+    markers: List[str] = [" "] * rendered
+    scale = rendered / data.size
+    for start in occurrences:
+        if not 0 <= start <= data.size - length:
+            raise InvalidParameterError(f"occurrence {start} out of range")
+        lo = int(start * scale)
+        hi = max(lo + 1, int((start + length) * scale))
+        for i in range(lo, min(hi, rendered)):
+            markers[i] = "^"
+    return line + "\n" + "".join(markers)

@@ -1,0 +1,5 @@
+"""Test package for the VALMOD reproduction.
+
+Exists so cross-test imports (``from tests.conftest import ...``) work
+under both ``pytest`` and ``python -m pytest`` invocations.
+"""

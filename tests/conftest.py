@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Series fixtures cover the three structure classes the algorithms behave
+differently on: white noise (adversarial for pruning), smooth structured
+data (friendly), and planted-motif data (known ground truth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.motif_planting import plant_motifs
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def noise_series():
+    """White noise: the hardest case for every pruning strategy."""
+    return np.random.default_rng(7).standard_normal(400)
+
+
+@pytest.fixture(scope="session")
+def structured_series():
+    """Smooth quasi-periodic series: the friendliest case."""
+    x = np.linspace(0, 16 * np.pi, 500)
+    wobble = 0.05 * np.random.default_rng(11).standard_normal(500)
+    return np.sin(x) + 0.4 * np.sin(2.3 * x + 1.0) + wobble
+
+
+@pytest.fixture(scope="session")
+def planted():
+    """Noise with two planted copies of a 40-point pattern."""
+    generator = np.random.default_rng(3)
+    background = generator.standard_normal(500)
+    pattern = np.sin(np.linspace(0, 4 * np.pi, 40)) * np.hanning(40)
+    return plant_motifs(
+        background,
+        pattern,
+        positions=[70, 300],
+        scale=5.0,
+        rng=generator,
+    )
+
+
+@pytest.fixture(scope="session")
+def planted_series(planted):
+    return planted.series
+
+
+def assert_profiles_close(a, b, atol=1e-6):
+    """Profiles equal where both finite; infinities must coincide."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.shape == b.shape
+    fin_a = np.isfinite(a)
+    fin_b = np.isfinite(b)
+    np.testing.assert_array_equal(fin_a, fin_b)
+    np.testing.assert_allclose(a[fin_a], b[fin_b], atol=atol)

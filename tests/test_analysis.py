@@ -1,0 +1,153 @@
+"""Tests for the analysis instruments (Figures 2-4, 9-11, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distances import distance_histogram, pairwise_distance_sample
+from repro.analysis.normalization_study import (
+    correction_spreads,
+    normalization_comparison,
+)
+from repro.analysis.pruning import pruning_margins
+from repro.analysis.ranking_study import (
+    distance_rank_agreement,
+    lower_bound_rank_agreement,
+)
+from repro.analysis.stats import dataset_statistics
+from repro.analysis.tlb import average_tlb_per_profile
+from repro.datasets import load_dataset, trace_pair_at_lengths
+from repro.exceptions import InvalidParameterError
+
+
+class TestDatasetStatistics:
+    def test_values(self):
+        stats = dataset_statistics(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == 2.5
+        assert stats.n_points == 4
+
+    def test_row_renders(self):
+        row = dataset_statistics(np.arange(10.0)).row()
+        assert "10" in row
+
+
+class TestTLB:
+    def test_range_and_shape(self, structured_series):
+        tlb = average_tlb_per_profile(
+            structured_series, base_length=30, target_length=40, n_profiles=16
+        )
+        assert tlb.shape == (16,)
+        valid = tlb[np.isfinite(tlb)]
+        assert np.all(valid >= 0.0)
+        assert np.all(valid <= 1.0 + 1e-9)
+
+    def test_k_zero_tlb_is_tighter_than_k_large(self, structured_series):
+        near = average_tlb_per_profile(structured_series, 30, 31, n_profiles=12)
+        far = average_tlb_per_profile(structured_series, 30, 70, n_profiles=12)
+        assert np.nanmean(near) >= np.nanmean(far) - 0.05
+
+    def test_validation(self, structured_series):
+        with pytest.raises(InvalidParameterError):
+            average_tlb_per_profile(structured_series, 40, 30)
+
+    def test_random_sampling(self, structured_series):
+        tlb = average_tlb_per_profile(
+            structured_series, 30, 40, n_profiles=8,
+            rng=np.random.default_rng(0),
+        )
+        assert tlb.shape == (8,)
+
+
+class TestPruningMargins:
+    def test_shape(self, structured_series):
+        margins = pruning_margins(structured_series, 40, 44, p=10)
+        assert margins.shape == (structured_series.size - 44 + 1,)
+        assert np.isfinite(margins).all()
+
+    def test_structured_mostly_positive(self, structured_series):
+        """Figure 9's claim for the easy dataset: most profiles have a
+        positive pruning margin."""
+        margins = pruning_margins(structured_series, 40, 44, p=20)
+        assert (margins > 0).mean() > 0.5
+
+    def test_validation(self, structured_series):
+        with pytest.raises(InvalidParameterError):
+            pruning_margins(structured_series, 40, 40)
+
+
+class TestDistanceDistribution:
+    def test_sample_positive_finite(self, structured_series):
+        sample = pairwise_distance_sample(structured_series, 40, n_profiles=10)
+        assert sample.size > 0
+        assert np.isfinite(sample).all()
+        assert (sample >= 0).all()
+
+    def test_histogram(self, structured_series):
+        sample = pairwise_distance_sample(structured_series, 40, n_profiles=10)
+        counts, edges = distance_histogram(sample, n_bins=12)
+        assert counts.sum() == sample.size
+        assert edges.size == 13
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            distance_histogram(np.array([np.inf]))
+
+    def test_emg_tail_heavier_than_ecg(self):
+        """The Figure 11 contrast, on the synthetic stand-ins."""
+        emg = load_dataset("EMG", 4000, seed=0)
+        ecg = load_dataset("ECG", 4000, seed=0)
+        s_emg = pairwise_distance_sample(emg, 256, n_profiles=12)
+        s_ecg = pairwise_distance_sample(ecg, 256, n_profiles=12)
+
+        def tail_ratio(s):
+            return np.quantile(s, 0.99) / np.median(s)
+
+        assert tail_ratio(s_emg) > tail_ratio(s_ecg) * 0.9
+
+
+class TestNormalizationStudy:
+    def test_sqrt_correction_flattest(self):
+        rows = normalization_comparison(
+            trace_pair_at_lengths([100, 150, 200, 250, 300])
+        )
+        spreads = correction_spreads(rows)
+        assert spreads["sqrt(1/l)"] < spreads["none"]
+        assert spreads["sqrt(1/l)"] < spreads["divide-by-l"]
+
+    def test_raw_biased_short_divl_biased_long(self):
+        rows = normalization_comparison(trace_pair_at_lengths([100, 400]))
+        assert rows[0].raw < rows[1].raw
+        assert rows[0].divided_by_length > rows[1].divided_by_length
+
+    def test_mismatched_pair_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalization_comparison([(np.zeros(10), np.zeros(12))])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            correction_spreads([])
+
+
+class TestRankingStudy:
+    def test_lb_rank_agreement_is_exactly_one(self, structured_series):
+        for k2 in (1, 10, 25):
+            assert lower_bound_rank_agreement(
+                structured_series, 40, 25, 0, k2, top=8
+            ) == 1.0
+
+    def test_distance_rank_agreement_bounded(self, structured_series):
+        agreement = distance_rank_agreement(structured_series, 40, 25, 10, top=8)
+        assert 0.0 <= agreement <= 1.0
+
+    def test_distance_ranks_churn_on_noise(self, noise_series):
+        """Figure 4 (top): on noisy data the true-distance ranking does
+        NOT survive large length changes."""
+        agreement = distance_rank_agreement(noise_series, 40, 16, 24, top=10)
+        assert agreement < 1.0
+
+    def test_validation(self, structured_series):
+        with pytest.raises(InvalidParameterError):
+            distance_rank_agreement(structured_series, 40, 25, 0)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_rank_agreement(structured_series, 40, 25, -1, 2)

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_motifs_defaults(self):
+        args = build_parser().parse_args(["motifs"])
+        assert args.dataset == "ECG"
+        assert args.l_min == 64
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ECG", "GAP", "ASTRO", "EMG", "EEG"):
+            assert name in out
+
+    def test_motifs_synthetic(self, capsys):
+        code = main(
+            [
+                "motifs",
+                "--dataset", "ECG",
+                "--points", "1500",
+                "--l-min", "32",
+                "--l-max", "36",
+                "--p", "10",
+                "--top", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "length" in out
+        assert "processed 5 lengths" in out
+
+    def test_sets_synthetic(self, capsys):
+        code = main(
+            [
+                "sets",
+                "--dataset", "EEG",
+                "--points", "1500",
+                "--l-min", "32",
+                "--l-max", "36",
+                "--k", "3",
+                "--p", "10",
+            ]
+        )
+        assert code == 0
+        assert "motif sets" in capsys.readouterr().out
+
+    def test_motifs_from_csv(self, tmp_path, capsys):
+        path = tmp_path / "series.txt"
+        rng = np.random.default_rng(0)
+        np.savetxt(path, rng.standard_normal(600))
+        code = main(
+            ["motifs", "--csv", str(path), "--l-min", "16", "--l-max", "18", "--p", "5"]
+        )
+        assert code == 0
+
+    def test_discords_synthetic(self, capsys):
+        code = main(
+            [
+                "discords",
+                "--dataset", "EEG",
+                "--points", "1200",
+                "--l-min", "20",
+                "--l-max", "24",
+                "--top", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "start" in out
+
+    def test_motifs_export(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "run.json"
+        code = main(
+            [
+                "motifs",
+                "--dataset", "ECG",
+                "--points", "1200",
+                "--l-min", "24",
+                "--l-max", "26",
+                "--p", "10",
+                "--export", str(target),
+            ]
+        )
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["l_min"] == 24
+        assert set(data["motif_pairs"]) == {"24", "25", "26"}
+
+    def test_segment_synthetic(self, capsys):
+        code = main(
+            [
+                "segment",
+                "--dataset", "GAP",
+                "--points", "1600",
+                "--l-min", "24",
+                "--regimes", "2",
+            ]
+        )
+        assert code == 0
+        assert "boundary" in capsys.readouterr().out
+
+    def test_snippets_synthetic(self, capsys):
+        code = main(
+            [
+                "snippets",
+                "--dataset", "ECG",
+                "--points", "1600",
+                "--l-min", "32",
+                "--k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+
+    def test_error_reported_cleanly(self, capsys):
+        code = main(
+            ["motifs", "--dataset", "ECG", "--points", "100",
+             "--l-min", "64", "--l-max", "96"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Tests for Algorithm 3 (ComputeMatrixProfile with listDP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compute_mp import compute_matrix_profile
+from repro.matrixprofile import stomp
+from tests.conftest import assert_profiles_close
+
+
+def test_profile_matches_stomp(noise_series):
+    mp, _ = compute_matrix_profile(noise_series, 16, 5)
+    reference = stomp(noise_series, 16)
+    assert_profiles_close(mp.profile, reference.profile, atol=1e-8)
+
+
+def test_profile_matches_stomp_structured(structured_series):
+    mp, _ = compute_matrix_profile(structured_series, 40, 10)
+    reference = stomp(structured_series, 40)
+    assert_profiles_close(mp.profile, reference.profile, atol=1e-8)
+
+
+def test_store_dimensions(noise_series):
+    mp, store = compute_matrix_profile(noise_series, 16, 7)
+    assert store.n_profiles == len(mp)
+    assert store.p == 7
+    assert store.current_length == 16
+    assert (store.base_length == 16).all()
+
+
+def test_every_profile_has_entries(noise_series):
+    _, store = compute_matrix_profile(noise_series, 16, 5)
+    filled = (store.neighbor >= 0).sum(axis=1)
+    assert (filled == 5).all(), "with n >> p every row should be full"
+
+
+def test_motif_pair_in_some_store_row(planted):
+    """The nearest neighbor of the motif member should be among its
+    stored entries: it has correlation near 1, hence the smallest LB."""
+    mp, store = compute_matrix_profile(planted.series, planted.length, 5)
+    pair = mp.motif_pair()
+    assert pair.b in set(store.neighbor[pair.a].tolist())
+
+
+def test_large_p_keeps_all_candidates():
+    t = np.random.default_rng(1).standard_normal(60)
+    mp, store = compute_matrix_profile(t, 10, 1000)
+    n_subs = len(mp)
+    zone = mp.exclusion
+    for row in range(0, n_subs, 13):
+        eligible = int((np.abs(np.arange(n_subs) - row) >= zone).sum())
+        stored = int((store.neighbor[row] >= 0).sum())
+        assert stored == eligible

@@ -1,0 +1,110 @@
+"""Tests for Algorithm 4 (ComputeSubMP) — exactness of the fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core.compute_mp import compute_matrix_profile
+from repro.core.compute_submp import compute_submp
+from repro.matrixprofile import stomp
+
+
+def advance(series, l_min, target, p, recompute_fraction=0.5):
+    _, store = compute_matrix_profile(series, l_min, p)
+    result = None
+    for length in range(l_min + 1, target + 1):
+        result = compute_submp(
+            series, store, length, recompute_fraction=recompute_fraction
+        )
+    return result
+
+
+class TestMotifExactness:
+    @pytest.mark.parametrize("target", [17, 20, 24])
+    def test_found_motif_matches_stomp_noise(self, noise_series, target):
+        result = advance(noise_series, 16, target, p=10)
+        reference = stomp(noise_series, target).motif_pair()
+        if result.found_motif:
+            assert result.best_distance == pytest.approx(
+                reference.distance, abs=1e-6
+            )
+
+    @pytest.mark.parametrize("target", [41, 45, 55])
+    def test_found_motif_matches_stomp_structured(self, structured_series, target):
+        result = advance(structured_series, 40, target, p=20)
+        reference = stomp(structured_series, target).motif_pair()
+        assert result.found_motif, "structured data should stay on the fast path"
+        assert result.best_distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_planted_motif_followed_across_lengths(self, planted):
+        result = advance(planted.series, planted.length - 4, planted.length, p=10)
+        reference = stomp(planted.series, planted.length).motif_pair()
+        if result.found_motif:
+            assert result.best_distance == pytest.approx(
+                reference.distance, abs=1e-6
+            )
+            assert planted.hit(result.best_pair[0])
+            assert planted.hit(result.best_pair[1])
+
+
+class TestValidProfiles:
+    def test_valid_rows_equal_full_matrix_profile(self, structured_series):
+        t = structured_series
+        _, store = compute_matrix_profile(t, 40, 20)
+        result = compute_submp(t, store, 41)
+        reference = stomp(t, 41)
+        known = np.isfinite(result.sub_profile)
+        assert known.any()
+        np.testing.assert_allclose(
+            result.sub_profile[known], reference.profile[known], atol=1e-6
+        )
+
+    def test_counters_are_consistent(self, noise_series):
+        _, store = compute_matrix_profile(noise_series, 16, 10)
+        result = compute_submp(noise_series, store, 17)
+        assert result.n_valid + result.n_invalid == result.sub_profile.size
+        assert result.submp_size >= result.n_valid
+
+    def test_diagnostics_shapes(self, noise_series):
+        _, store = compute_matrix_profile(noise_series, 16, 10)
+        result = compute_submp(noise_series, store, 17)
+        assert result.min_dist.shape == result.sub_profile.shape
+        assert result.max_lb.shape == result.sub_profile.shape
+
+
+class TestRecomputePaths:
+    def test_zero_fraction_disables_partial(self, noise_series):
+        _, store = compute_matrix_profile(noise_series, 16, 3)
+        result = compute_submp(noise_series, store, 17, recompute_fraction=0.0)
+        assert result.n_recomputed == 0
+
+    def test_partial_recompute_is_exact(self, noise_series):
+        # Tiny p forces invalid profiles, exercising the partial path.
+        result = advance(noise_series, 16, 20, p=2, recompute_fraction=1.0)
+        assert result.found_motif
+        reference = stomp(noise_series, 20).motif_pair()
+        assert result.best_distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_not_found_signals_fallback(self, noise_series):
+        _, store = compute_matrix_profile(noise_series, 16, 2)
+        result = compute_submp(noise_series, store, 17, recompute_fraction=0.0)
+        if not result.found_motif:
+            assert result.n_recomputed == 0
+            assert result.n_invalid > 0
+
+
+class TestLengthBookkeeping:
+    def test_profile_shrinks_with_length(self, noise_series):
+        n = noise_series.size
+        _, store = compute_matrix_profile(noise_series, 16, 5)
+        r17 = compute_submp(noise_series, store, 17)
+        assert r17.sub_profile.size == n - 17 + 1
+        r18 = compute_submp(noise_series, store, 18)
+        assert r18.sub_profile.size == n - 18 + 1
+
+    def test_no_trivial_pairs_reported(self, structured_series):
+        from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+        result = advance(structured_series, 40, 44, p=20)
+        if result.best_pair is not None:
+            a, b = result.best_pair
+            assert abs(a - b) >= exclusion_zone_half_width(44)

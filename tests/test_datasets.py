@@ -1,0 +1,208 @@
+"""Tests for the synthetic dataset families and motif planting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_spec,
+    generate_epg,
+    load_dataset,
+    plant_motifs,
+    trace_signature,
+)
+from repro.datasets.generators import (
+    affine_to,
+    exponential_flare,
+    gaussian_pulse,
+    random_walk,
+    resample,
+    sine_mixture,
+    smooth,
+    white_noise,
+)
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+
+
+class TestRegistry:
+    def test_all_families_listed(self):
+        assert set(DATASET_NAMES) == {"ECG", "GAP", "ASTRO", "EMG", "EEG"}
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            dataset_spec("NOPE")
+
+    def test_case_insensitive(self):
+        assert dataset_spec("ecg").name == "ECG"
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_per_seed(self, name):
+        a = load_dataset(name, 2000, seed=5)
+        b = load_dataset(name, 2000, seed=5)
+        c = load_dataset(name, 2000, seed=6)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_finite_and_sized(self, name):
+        t = load_dataset(name, 3000, seed=1)
+        assert t.shape == (3000,)
+        assert np.isfinite(t).all()
+
+    @pytest.mark.parametrize("name", ["ECG", "ASTRO", "EMG", "EEG"])
+    def test_matches_table1_mean_std(self, name):
+        spec = dataset_spec(name)
+        t = load_dataset(name, 6000, seed=2)
+        assert t.mean() == pytest.approx(spec.paper_mean, abs=abs(spec.paper_std) * 0.01)
+        assert t.std() == pytest.approx(spec.paper_std, rel=0.01)
+
+    def test_gap_is_positive_like_power_data(self):
+        t = load_dataset("GAP", 6000, seed=2)
+        assert t.min() >= 0.08 - 1e-9
+        assert t.std() == pytest.approx(1.15, rel=0.01)
+
+    def test_emg_has_heavier_tail_than_ecg(self):
+        """The structural property Figures 10-11 rely on: EMG's distance
+        distribution is heavy-tailed because its variance is bursty."""
+        emg = load_dataset("EMG", 8000, seed=0)
+        ecg = load_dataset("ECG", 8000, seed=0)
+
+        def burstiness(t, w=256):
+            stds = np.array([t[i : i + w].std() for i in range(0, t.size - w, w)])
+            return stds.max() / np.median(stds)
+
+        assert burstiness(emg) > burstiness(ecg)
+
+
+class TestGenerators:
+    def test_white_noise_stats(self):
+        t = white_noise(10_000, np.random.default_rng(0), scale=2.0)
+        assert t.std() == pytest.approx(2.0, rel=0.1)
+
+    def test_random_walk_is_cumulative(self):
+        rng = np.random.default_rng(1)
+        t = random_walk(100, rng)
+        assert t.shape == (100,)
+
+    def test_sine_mixture_shape_and_validation(self):
+        t = sine_mixture(100, [2.0, 5.0], amplitudes=[1.0, 0.5])
+        assert t.shape == (100,)
+        with pytest.raises(InvalidParameterError):
+            sine_mixture(100, [1.0], amplitudes=[1.0, 2.0])
+
+    def test_gaussian_pulse_peak_location(self):
+        pulse = gaussian_pulse(101, center=0.5, width=0.05)
+        assert np.argmax(pulse) == 50
+
+    def test_exponential_flare_shape(self):
+        flare = exponential_flare(100)
+        assert flare.shape == (100,)
+        assert np.argmax(flare) == pytest.approx(15, abs=2)
+
+    def test_resample_preserves_shape_class(self):
+        sig = np.sin(np.linspace(0, 2 * np.pi, 100))
+        out = resample(sig, 250)
+        assert out.shape == (250,)
+        assert znormalized_distance(
+            out, np.sin(np.linspace(0, 2 * np.pi, 250))
+        ) < 1.0
+
+    def test_affine_to_exact(self):
+        t = np.random.default_rng(2).standard_normal(500)
+        out = affine_to(t, mean=3.0, std=0.5)
+        assert out.mean() == pytest.approx(3.0, abs=1e-9)
+        assert out.std() == pytest.approx(0.5, abs=1e-9)
+
+    def test_affine_to_rejects_constant(self):
+        with pytest.raises(InvalidParameterError):
+            affine_to(np.ones(10), 0.0, 1.0)
+
+    def test_smooth_reduces_variance(self):
+        t = np.random.default_rng(3).standard_normal(1000)
+        assert smooth(t, 9).std() < t.std()
+        np.testing.assert_array_equal(smooth(t, 1), t)
+
+
+class TestTrace:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(trace_signature(200, 5), trace_signature(200, 5))
+
+    def test_length_parametric(self):
+        """The phase parameterization makes lengths self-consistent:
+        rendering at length L equals resampling from a fine render."""
+        fine = trace_signature(1000)
+        coarse = trace_signature(125)
+        assert znormalized_distance(resample(fine, 125), coarse) < 1.0
+
+    def test_variants_differ_but_match(self):
+        a = trace_signature(200, 1)
+        b = trace_signature(200, 2)
+        d = znormalized_distance(a, b)
+        assert 0.0 < d < 5.0
+
+
+class TestEPG:
+    def test_ground_truth_positions_valid(self):
+        series, truth = generate_epg(8000, seed=1)
+        for pos in truth.probing_positions:
+            assert 0 <= pos <= series.size - truth.probing_length
+        for pos in truth.ingestion_positions:
+            assert 0 <= pos <= series.size - truth.ingestion_length
+
+    def test_behaviours_planted(self):
+        series, truth = generate_epg(8000, seed=2)
+        assert len(truth.probing_positions) >= 2
+        assert len(truth.ingestion_positions) >= 2
+
+    def test_probing_copies_similar(self):
+        series, truth = generate_epg(8000, seed=3)
+        a, b = truth.probing_positions[:2]
+        length = truth.probing_length
+        d = znormalized_distance(series[a : a + length], series[b : b + length])
+        assert d < 0.35 * np.sqrt(length), "probing copies should match closely"
+
+
+class TestPlantMotifs:
+    def test_positions_respected(self):
+        planted = plant_motifs(np.zeros(200) + np.arange(200) * 1e-6,
+                               np.ones(10), positions=[20, 100])
+        assert planted.positions == (20, 100)
+
+    def test_overlapping_positions_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plant_motifs(np.random.default_rng(0).standard_normal(100),
+                         np.ones(10), positions=[20, 25])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            plant_motifs(np.random.default_rng(0).standard_normal(100),
+                         np.ones(10), positions=[95, 20])
+
+    def test_pattern_too_large(self):
+        with pytest.raises(InvalidParameterError):
+            plant_motifs(np.zeros(15), np.ones(10))
+
+    def test_random_positions_non_overlapping(self):
+        planted = plant_motifs(
+            np.random.default_rng(1).standard_normal(500),
+            np.ones(20),
+            count=5,
+            rng=np.random.default_rng(2),
+        )
+        positions = sorted(planted.positions)
+        assert all(b - a >= 20 for a, b in zip(positions, positions[1:]))
+
+    def test_hit_tolerance(self):
+        planted = plant_motifs(
+            np.random.default_rng(1).standard_normal(200),
+            np.ones(16), positions=[50, 120],
+        )
+        assert planted.hit(52)
+        assert not planted.hit(90)
+
+    def test_background_unchanged_outside(self):
+        background = np.random.default_rng(4).standard_normal(200)
+        planted = plant_motifs(background, np.ones(10), positions=[50, 100])
+        np.testing.assert_array_equal(planted.series[:50], background[:50])
+        np.testing.assert_array_equal(planted.series[110:], background[110:])

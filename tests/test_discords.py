@@ -1,0 +1,73 @@
+"""Tests for variable-length discord discovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.discords import Discord, find_discords
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+
+@pytest.fixture(scope="module")
+def anomalous_series():
+    """Periodic series with one injected anomaly of a known width."""
+    x = np.linspace(0, 40 * np.pi, 1000)
+    t = np.sin(x) + 0.05 * np.random.default_rng(5).standard_normal(1000)
+    t[500:530] += 4.0 * np.hanning(30)
+    return t, 500, 30
+
+
+class TestDiscovery:
+    def test_finds_injected_anomaly(self, anomalous_series):
+        t, pos, width = anomalous_series
+        discords = find_discords(t, 24, 36, k=1)
+        assert len(discords) == 1
+        assert abs(discords[0].start - pos) <= 40
+
+    def test_ranked_by_normalized_distance(self, anomalous_series):
+        t, _, _ = anomalous_series
+        discords = find_discords(t, 24, 30, k=4)
+        norms = [d.normalized_distance for d in discords]
+        assert norms == sorted(norms, reverse=True)
+
+    def test_non_overlapping(self, anomalous_series):
+        t, _, _ = anomalous_series
+        discords = find_discords(t, 24, 30, k=5)
+        for i, a in enumerate(discords):
+            for b in discords[i + 1 :]:
+                zone = max(
+                    exclusion_zone_half_width(a.length),
+                    exclusion_zone_half_width(b.length),
+                )
+                assert abs(a.start - b.start) >= zone
+
+    def test_lengths_within_range(self, anomalous_series):
+        t, _, _ = anomalous_series
+        for d in find_discords(t, 24, 30, k=3):
+            assert 24 <= d.length <= 30
+
+    def test_variable_length_beats_wrong_fixed_length(self):
+        """The extension's point: a short glitch scanned only at a long
+        length scores lower than at its natural length."""
+        x = np.linspace(0, 40 * np.pi, 1000)
+        t = np.sin(x) + 0.05 * np.random.default_rng(8).standard_normal(1000)
+        t[400:412] += 5.0 * np.hanning(12)  # a 12-point glitch
+        short = find_discords(t, 10, 14, k=1)[0]
+        long_ = find_discords(t, 48, 52, k=1)[0]
+        assert short.normalized_distance > long_.normalized_distance
+
+
+class TestValidation:
+    def test_reversed_range(self, anomalous_series):
+        t, _, _ = anomalous_series
+        with pytest.raises(InvalidParameterError):
+            find_discords(t, 30, 24)
+
+    def test_bad_k(self, anomalous_series):
+        t, _, _ = anomalous_series
+        with pytest.raises(InvalidParameterError):
+            find_discords(t, 24, 30, k=0)
+
+    def test_end_property(self):
+        d = Discord(normalized_distance=1.0, distance=2.0, length=10, start=5)
+        assert d.end == 15

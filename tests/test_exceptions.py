@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExceededError,
+    InvalidParameterError,
+    InvalidSeriesError,
+    NotComputedError,
+    ReproError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (
+        InvalidSeriesError,
+        InvalidParameterError,
+        NotComputedError,
+        BudgetExceededError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_value_error_compatibility():
+    assert issubclass(InvalidSeriesError, ValueError)
+    assert issubclass(InvalidParameterError, ValueError)
+
+
+def test_runtime_error_compatibility():
+    assert issubclass(NotComputedError, RuntimeError)
+    assert issubclass(BudgetExceededError, RuntimeError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise InvalidParameterError("boom")

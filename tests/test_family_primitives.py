@@ -1,0 +1,217 @@
+"""Tests for the matrix-profile family primitives:
+left/right profiles, chains, FLUSS segmentation, annotation vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotation import (
+    apply_annotation,
+    interval_annotation,
+    variance_annotation,
+)
+from repro.core.chains import all_chains, unanchored_chain
+from repro.core.segmentation import (
+    arc_curve,
+    corrected_arc_curve,
+    fluss,
+    regime_boundaries,
+)
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile import stomp
+from repro.matrixprofile.leftright import stomp_left_right
+
+
+class TestLeftRightProfiles:
+    def test_full_matches_stomp(self, noise_series):
+        lr = stomp_left_right(noise_series, 16)
+        reference = stomp(noise_series, 16)
+        fin = np.isfinite(reference.profile)
+        np.testing.assert_allclose(
+            lr.profile[fin], reference.profile[fin], atol=1e-9
+        )
+
+    def test_directionality(self, noise_series):
+        lr = stomp_left_right(noise_series, 16)
+        n = lr.profile.size
+        for i in range(0, n, 37):
+            if lr.left_index[i] >= 0:
+                assert lr.left_index[i] < i
+            if lr.right_index[i] >= 0:
+                assert lr.right_index[i] > i
+
+    def test_full_is_min_of_left_right(self, noise_series):
+        lr = stomp_left_right(noise_series, 16)
+        combined = np.minimum(lr.left_profile, lr.right_profile)
+        fin = np.isfinite(lr.profile)
+        np.testing.assert_allclose(lr.profile[fin], combined[fin], atol=1e-9)
+
+    def test_first_window_has_no_left_neighbor(self, noise_series):
+        lr = stomp_left_right(noise_series, 16)
+        assert lr.left_index[0] == -1
+        assert lr.right_index[lr.profile.size - 1] == -1
+
+    def test_accessors_return_matrix_profiles(self, noise_series):
+        lr = stomp_left_right(noise_series, 16)
+        assert lr.full().length == 16
+        assert lr.left().length == 16
+        assert lr.right().length == 16
+
+
+class TestChains:
+    @pytest.fixture(scope="class")
+    def drifting_series(self):
+        """A pattern that drifts in shape at each occurrence: the
+        canonical chain-producing input."""
+        rng = np.random.default_rng(6)
+        t = 0.1 * rng.standard_normal(1400)
+        base = np.linspace(0, 2 * np.pi, 60)
+        for k, pos in enumerate(range(50, 1300, 200)):
+            # gradually morphing pattern: sin -> increasingly skewed
+            warp = 1.0 + 0.18 * k
+            t[pos : pos + 60] += 3 * np.sin(base * warp) * np.hanning(60)
+        return t
+
+    def test_members_strictly_increasing(self, drifting_series):
+        for chain in all_chains(drifting_series, 60):
+            members = list(chain.members)
+            assert members == sorted(members)
+            assert len(set(members)) == len(members)
+
+    def test_positions_in_at_most_one_chain(self, drifting_series):
+        seen = set()
+        for chain in all_chains(drifting_series, 60):
+            for member in chain.members:
+                assert member not in seen
+                seen.add(member)
+
+    def test_unanchored_chain_follows_the_drift(self, drifting_series):
+        chain = unanchored_chain(drifting_series, 60)
+        assert len(chain) >= 3
+        # chain members should land near the planted positions
+        planted = list(range(50, 1300, 200))
+        hits = sum(
+            1 for m in chain.members
+            if any(abs(m - pos) <= 45 for pos in planted)
+        )
+        assert hits >= len(chain) - 1
+
+    def test_links_are_bidirectional(self, drifting_series):
+        lr = stomp_left_right(drifting_series, 60)
+        for chain in all_chains(drifting_series, 60):
+            for a, b in zip(chain.members, chain.members[1:]):
+                assert lr.right_index[a] == b
+                assert lr.left_index[b] == a
+
+    def test_span_property(self):
+        from repro.core.chains import Chain
+
+        chain = Chain(members=(10, 50, 90), length=20, total_link_distance=1.0)
+        assert chain.span == 80
+        assert len(chain) == 3
+
+    def test_no_chain_raises(self, monkeypatch):
+        import repro.core.chains as chains_module
+
+        monkeypatch.setattr(chains_module, "all_chains", lambda t, length: [])
+        with pytest.raises(InvalidParameterError):
+            unanchored_chain(np.random.default_rng(0).standard_normal(100), 8)
+
+
+class TestSegmentation:
+    @pytest.fixture(scope="class")
+    def two_regime_series(self):
+        """Sine regime followed by a square-ish regime."""
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 30 * np.pi, 900)
+        first = np.sin(x[:900])
+        second = np.sign(np.sin(x[:900])) * 0.8
+        t = np.concatenate([first, second]) + 0.05 * rng.standard_normal(1800)
+        return t, 900
+
+    def test_arc_curve_counts(self):
+        index = np.array([2, 3, 0, 1])
+        curve = arc_curve(index)
+        assert curve.shape == (4,)
+        assert curve[0] >= 1
+
+    def test_cac_in_unit_interval(self, two_regime_series):
+        t, _ = two_regime_series
+        cac = fluss(t, 40)
+        assert np.all(cac >= 0.0)
+        assert np.all(cac <= 1.0)
+
+    def test_edges_masked(self, two_regime_series):
+        t, _ = two_regime_series
+        cac = fluss(t, 40)
+        assert (cac[:40] == 1.0).all()
+        assert (cac[-40:] == 1.0).all()
+
+    def test_boundary_found_near_regime_change(self, two_regime_series):
+        t, boundary = two_regime_series
+        found = regime_boundaries(t, 40, n_regimes=2)
+        assert len(found) == 1
+        assert abs(found[0] - boundary) <= 100
+
+    def test_homogeneous_series_has_high_cac(self):
+        x = np.linspace(0, 40 * np.pi, 1200)
+        t = np.sin(x) + 0.05 * np.random.default_rng(1).standard_normal(1200)
+        cac = fluss(t, 40)
+        interior = cac[200:-200]
+        assert np.median(interior) > 0.3
+
+    def test_validation(self, two_regime_series):
+        t, _ = two_regime_series
+        with pytest.raises(InvalidParameterError):
+            regime_boundaries(t, 40, n_regimes=1)
+        with pytest.raises(InvalidParameterError):
+            corrected_arc_curve(np.array([0, 1]), 5)
+
+
+class TestAnnotation:
+    def test_apply_annotation_pushes_suppressed_up(self, noise_series):
+        mp = stomp(noise_series, 16)
+        av = np.ones_like(mp.profile)
+        av[:100] = 0.0
+        corrected = apply_annotation(mp, av)
+        fin = np.isfinite(mp.profile)
+        assert np.all(
+            corrected.profile[:100][fin[:100]]
+            > mp.profile[:100][fin[:100]]
+        )
+        np.testing.assert_allclose(
+            corrected.profile[100:][fin[100:]], mp.profile[100:][fin[100:]]
+        )
+
+    def test_motif_moves_out_of_suppressed_region(self, planted):
+        mp = stomp(planted.series, planted.length)
+        pair = mp.motif_pair()
+        zone = mp.exclusion
+        av = interval_annotation(
+            len(mp),
+            [(max(0, pair.a - zone), pair.a + zone),
+             (max(0, pair.b - zone), pair.b + zone)],
+        )
+        corrected = apply_annotation(mp, av)
+        new_pair = corrected.motif_pair()
+        assert abs(new_pair.a - pair.a) >= zone or abs(new_pair.b - pair.b) >= zone
+
+    def test_variance_annotation_suppresses_flat_regions(self):
+        rng = np.random.default_rng(3)
+        t = rng.standard_normal(400)
+        t[100:180] = 5.0  # a flat shelf
+        av = variance_annotation(t, 20)
+        assert av[130] < 0.2
+        assert av[300] > 0.3
+
+    def test_variance_annotation_constant_series(self):
+        av = variance_annotation(np.full(100, 2.0), 10)
+        np.testing.assert_array_equal(av, 1.0)
+
+    def test_validation(self, noise_series):
+        mp = stomp(noise_series, 16)
+        with pytest.raises(InvalidParameterError):
+            apply_annotation(mp, np.ones(3))
+        with pytest.raises(InvalidParameterError):
+            apply_annotation(mp, np.full_like(mp.profile, 2.0))
+        with pytest.raises(InvalidParameterError):
+            interval_annotation(10, [(5, 5)])

@@ -1,0 +1,151 @@
+"""Tests for the benchmark harness (grids, timed runs, sweeps, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import BenchmarkGrid, default_grid, env_scale
+from repro.harness.experiments import (
+    SweepResult,
+    sweep_motif_length,
+    sweep_motif_sets,
+    sweep_parameter_p,
+)
+from repro.harness.reporting import format_histogram, format_series, format_table
+from repro.harness.runner import ALGORITHMS, run_algorithm
+from repro.exceptions import InvalidParameterError
+
+
+TINY = BenchmarkGrid(
+    motif_lengths=[8, 12],
+    motif_ranges=[2, 4],
+    series_sizes=[256, 384],
+    p_values=[5, 10],
+    default_length=8,
+    default_range=3,
+    default_size=256,
+    default_p=5,
+    timeout_seconds=60.0,
+    k_values=[2, 4],
+    d_values=[2, 3],
+    default_k=4,
+    default_d=2,
+)
+
+
+class TestGrid:
+    def test_default_grid_ratios(self):
+        grid = default_grid(scale=1.0)
+        # the range/length ratio tracks the paper's grid (sizes shrink
+        # further than lengths by design — see DESIGN.md)
+        assert grid.default_range / grid.default_length == pytest.approx(
+            200 / 1024, rel=0.25
+        )
+        assert grid.default_length in grid.motif_lengths
+        assert grid.default_size in grid.series_sizes
+
+    def test_scaling(self):
+        base = default_grid(scale=1.0)
+        double = default_grid(scale=2.0)
+        assert double.default_size == 2 * base.default_size
+        assert double.motif_lengths[0] == 2 * base.motif_lengths[0]
+
+    def test_p_values_match_paper(self):
+        assert default_grid(scale=1.0).p_values == [5, 10, 15, 20, 50, 100, 150]
+
+    def test_env_scale_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "abc")
+        with pytest.raises(InvalidParameterError):
+            env_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(InvalidParameterError):
+            env_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert env_scale() == 2.5
+
+
+class TestRunner:
+    @pytest.mark.parametrize("name", list(ALGORITHMS))
+    def test_all_algorithms_run(self, noise_series, name):
+        outcome = run_algorithm(name, noise_series, 16, 18, p=5)
+        assert not outcome.dnf
+        assert outcome.seconds > 0
+        assert set(outcome.motif_pairs) == {16, 17, 18}
+
+    def test_algorithms_agree(self, noise_series):
+        results = {
+            name: run_algorithm(name, noise_series, 16, 18, p=5).motif_pairs
+            for name in ALGORITHMS
+        }
+        reference = results["STOMP"]
+        for name, pairs in results.items():
+            for length in reference:
+                assert pairs[length].distance == pytest.approx(
+                    reference[length].distance, abs=1e-6
+                ), f"{name} disagrees at length {length}"
+
+    def test_dnf_on_impossible_budget(self, structured_series):
+        outcome = run_algorithm(
+            "STOMP", structured_series, 30, 60, timeout_seconds=0.0
+        )
+        assert outcome.dnf
+        assert outcome.motif_pairs is None
+        assert outcome.cell() == "DNF"
+
+    def test_unknown_algorithm(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            run_algorithm("NOPE", noise_series, 16, 18)
+
+
+class TestSweeps:
+    def test_motif_length_sweep_structure(self):
+        result = sweep_motif_length(
+            datasets=["ECG"], algorithms=["VALMOD", "STOMP"], grid=TINY
+        )
+        assert isinstance(result, SweepResult)
+        assert len(result.rows) == len(TINY.motif_lengths)
+        headers = result.headers()
+        assert headers[:2] == ["dataset", "l_min"]
+        table = result.table_rows()
+        assert all(len(row) == len(headers) for row in table)
+
+    def test_speedup_computation(self):
+        result = sweep_motif_length(
+            datasets=["ECG"], algorithms=["VALMOD", "STOMP"], grid=TINY
+        )
+        speedups = result.speedup_vs("STOMP")
+        assert len(speedups) == len(result.rows)
+        assert all(s > 0 for s in speedups)
+
+    def test_parameter_p_sweep(self):
+        rows = sweep_parameter_p(datasets=["ECG"], grid=TINY)
+        assert len(rows) == len(TINY.p_values)
+        for row in rows:
+            assert row["seconds"] > 0
+            assert len(row["submp_sizes"]) == TINY.default_range
+
+    def test_motif_sets_sweep(self):
+        rows = sweep_motif_sets(datasets=["ECG"], grid=TINY)
+        assert len(rows) == len(TINY.k_values) + len(TINY.d_values)
+        for row in rows:
+            assert row["seconds"] >= 0
+            assert row["valmp_seconds"] > row["seconds"], (
+                "set extraction must be much cheaper than the VALMP build"
+            )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_histogram(self):
+        counts, edges = np.histogram([1.0, 2.0, 2.5], bins=3)
+        out = format_histogram(counts, edges)
+        assert out.count("\n") == 2
+        assert "#" in out
+
+    def test_format_series(self):
+        out = format_series("label", [1.0, 2.0])
+        assert "label" in out and "1.000" in out

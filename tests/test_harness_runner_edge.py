@@ -1,0 +1,66 @@
+"""Edge-path tests for the timed runner and sweep plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import sweep_motif_range, sweep_series_size
+from repro.harness.runner import RunOutcome, run_algorithm
+from tests.test_harness import TINY
+
+
+class TestRunOutcome:
+    def test_cell_formats(self):
+        assert RunOutcome("X", 1.234, dnf=False).cell() == "1.23s"
+        assert RunOutcome("X", 9.0, dnf=True).cell() == "DNF"
+
+
+class TestDnfPaths:
+    @pytest.mark.parametrize("name", ["MOEN", "QUICKMOTIF"])
+    def test_baselines_honor_budget(self, structured_series, name):
+        outcome = run_algorithm(
+            name, structured_series, 30, 60, timeout_seconds=0.0
+        )
+        assert outcome.dnf
+        assert outcome.motif_pairs is None
+
+    def test_valmod_never_dnfs(self, structured_series):
+        outcome = run_algorithm(
+            "VALMOD", structured_series, 30, 34, timeout_seconds=0.0
+        )
+        assert not outcome.dnf
+
+
+class TestSweepPlumbing:
+    def test_range_sweep_row_count(self):
+        result = sweep_motif_range(
+            datasets=["EMG"], algorithms=["VALMOD"], grid=TINY
+        )
+        assert len(result.rows) == len(TINY.motif_ranges)
+        assert result.x_name == "range"
+
+    def test_size_sweep_row_count(self):
+        result = sweep_series_size(
+            datasets=["ASTRO"], algorithms=["VALMOD"], grid=TINY
+        )
+        assert [row["x"] for row in result.rows] == TINY.series_sizes
+
+    def test_custom_loader_receives_calls(self):
+        calls = []
+
+        def loader(name, n, seed=0):
+            calls.append((name, n))
+            return np.random.default_rng(seed).standard_normal(n)
+
+        sweep_series_size(
+            datasets=["ECG"], algorithms=["VALMOD"], grid=TINY, loader=loader
+        )
+        assert [n for _, n in calls] == TINY.series_sizes
+        assert all(name == "ECG" for name, _ in calls)
+
+    def test_missing_algorithm_column_renders_dash(self):
+        result = sweep_motif_range(
+            datasets=["EEG"], algorithms=["VALMOD"], grid=TINY
+        )
+        result.algorithms.append("GHOST")
+        table = result.table_rows()
+        assert all(row[-1] == "-" for row in table)

@@ -1,0 +1,109 @@
+"""Tests for the d-dimensional Hilbert curve (Skilling's algorithm)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hilbert import hilbert_index, hilbert_sort_order, quantize
+from repro.exceptions import InvalidParameterError
+
+
+def full_grid(dims, bits):
+    side = 1 << bits
+    return np.array(
+        list(itertools.product(range(side), repeat=dims)), dtype=np.uint64
+    )
+
+
+class TestHilbertIndex:
+    @pytest.mark.parametrize("dims,bits", [(2, 2), (2, 3), (3, 2), (4, 1)])
+    def test_bijective_on_full_grid(self, dims, bits):
+        coords = full_grid(dims, bits)
+        keys = hilbert_index(coords, bits)
+        assert len(set(keys.tolist())) == coords.shape[0]
+        assert int(keys.max()) == coords.shape[0] - 1
+
+    @pytest.mark.parametrize("dims,bits", [(2, 3), (3, 2)])
+    def test_consecutive_indices_are_grid_neighbors(self, dims, bits):
+        """The defining Hilbert property: the curve visits adjacent cells."""
+        coords = full_grid(dims, bits)
+        keys = hilbert_index(coords, bits)
+        ordered = coords[np.argsort(keys)].astype(np.int64)
+        steps = np.abs(np.diff(ordered, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_empty_input(self):
+        out = hilbert_index(np.empty((0, 3), dtype=np.uint64), 4)
+        assert out.shape == (0,)
+
+    def test_bit_budget_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            hilbert_index(np.zeros((1, 9), dtype=np.uint64), 8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            hilbert_index(np.zeros(5, dtype=np.uint64), 4)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.integers(0, 16, size=(50, 3)).astype(np.uint64)
+        k1 = hilbert_index(coords.copy(), 4)
+        k2 = hilbert_index(coords.copy(), 4)
+        np.testing.assert_array_equal(k1, k2)
+
+    def test_input_not_mutated(self):
+        coords = full_grid(2, 2)
+        original = coords.copy()
+        hilbert_index(coords, 2)
+        np.testing.assert_array_equal(coords, original)
+
+
+class TestQuantize:
+    def test_range(self, rng):
+        pts = rng.standard_normal((100, 4))
+        q = quantize(pts, 8)
+        assert q.min() >= 0
+        assert q.max() <= 255
+
+    def test_constant_dimension(self, rng):
+        pts = rng.standard_normal((50, 2))
+        pts[:, 1] = 3.0
+        q = quantize(pts, 8)
+        assert (q[:, 1] == 0).all()
+
+    def test_extremes_map_to_extremes(self):
+        pts = np.array([[0.0], [1.0]])
+        q = quantize(pts, 4)
+        assert q[0, 0] == 0
+        assert q[1, 0] == 15
+
+    def test_bits_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            quantize(rng.standard_normal((5, 2)), 0)
+        with pytest.raises(InvalidParameterError):
+            quantize(rng.standard_normal((5, 2)), 17)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(InvalidParameterError):
+            quantize(rng.standard_normal(5), 4)
+
+
+class TestSortOrder:
+    def test_is_permutation(self, rng):
+        pts = rng.standard_normal((200, 4))
+        order = hilbert_sort_order(pts)
+        assert sorted(order.tolist()) == list(range(200))
+
+    def test_groups_nearby_points(self, rng):
+        """Points in two well-separated clusters should not interleave."""
+        a = rng.standard_normal((50, 3)) * 0.1
+        b = rng.standard_normal((50, 3)) * 0.1 + 10.0
+        pts = np.vstack([a, b])
+        order = hilbert_sort_order(pts)
+        labels = (order >= 50).astype(int)
+        transitions = int(np.abs(np.diff(labels)).sum())
+        assert transitions == 1, "each cluster should be one contiguous run"

@@ -1,0 +1,87 @@
+"""End-to-end integration tests across the whole library.
+
+These are the repository-level guarantees: all four algorithms agree on
+every dataset family, the motif-set pipeline recovers planted structure,
+and the case-study behaviour (motif meaning changes with length)
+reproduces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Valmod, find_motif_sets
+from repro.baselines import moen, quick_motif, stomp_range
+from repro.datasets import generate_epg, load_dataset, plant_motifs
+
+
+@pytest.mark.parametrize("name", ["ECG", "GAP", "ASTRO", "EMG", "EEG"])
+def test_all_algorithms_agree_on_every_dataset_family(name):
+    series = load_dataset(name, 1200, seed=4)
+    l_min, l_max = 24, 30
+    reference = stomp_range(series, l_min, l_max)
+    valmod_pairs = Valmod(series, l_min, l_max, p=10).run().motif_pairs
+    moen_pairs = moen(series, l_min, l_max)
+    qm_pairs = quick_motif(series, l_min, l_max)
+    for length in reference:
+        expected = reference[length].distance
+        assert valmod_pairs[length].distance == pytest.approx(expected, abs=1e-6)
+        assert moen_pairs[length].distance == pytest.approx(expected, abs=1e-6)
+        assert qm_pairs[length].distance == pytest.approx(expected, abs=1e-6)
+
+
+def test_motif_sets_recover_planted_occurrences():
+    rng = np.random.default_rng(31)
+    pattern = np.sin(np.linspace(0, 6 * np.pi, 60)) * np.hanning(60)
+    planted = plant_motifs(
+        rng.standard_normal(1600),
+        pattern,
+        positions=[100, 400, 700, 1000, 1300],
+        scale=5.0,
+        amplitude_jitter=0.03,
+        rng=rng,
+    )
+    sets = find_motif_sets(planted.series, 54, 64, k=4, radius_factor=3.0, p=20)
+    assert sets
+    best = max(sets, key=lambda s: s.frequency)
+    recovered = sum(
+        1
+        for pos in planted.positions
+        if any(abs(member - pos) <= 20 for member in best.members)
+    )
+    assert recovered >= 4
+
+
+def test_epg_case_study_motif_changes_meaning_with_length():
+    series, truth = generate_epg(
+        n=6000, seed=7, probing_length=100, ingestion_length=125
+    )
+    run = Valmod(series, 95, 130, p=50).run()
+
+    def near(offset, positions, tol=35):
+        return any(abs(offset - pos) <= tol for pos in positions)
+
+    short = run.motif_pairs[truth.probing_length]
+    long_ = run.motif_pairs[truth.ingestion_length]
+    assert near(short.a, truth.probing_positions)
+    assert near(short.b, truth.probing_positions)
+    assert near(long_.a, truth.ingestion_positions)
+    assert near(long_.b, truth.ingestion_positions)
+
+
+def test_valmp_best_pair_equals_best_per_length_pair():
+    series = load_dataset("EEG", 1500, seed=9)
+    run = Valmod(series, 30, 40, p=20).run()
+    from_valmp = run.valmp.motif_pair()
+    from_lengths = run.best_motif_pair()
+    assert from_valmp.normalized_distance == pytest.approx(
+        from_lengths.normalized_distance, abs=1e-9
+    )
+
+
+def test_runs_are_deterministic():
+    series = load_dataset("GAP", 1200, seed=2)
+    a = Valmod(series, 24, 30, p=10).run()
+    b = Valmod(series, 24, 30, p=10).run()
+    for length in a.motif_pairs:
+        assert a.motif_pairs[length] == b.motif_pairs[length]
+        assert a.motif_pairs[length].a == b.motif_pairs[length].a

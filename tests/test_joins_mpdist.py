@@ -1,0 +1,119 @@
+"""Tests for AB-joins and MPdist."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.join import ab_join_motif, stomp_ab_join
+from repro.matrixprofile.mpdist import mpdist
+
+
+@pytest.fixture(scope="module")
+def two_series(rng):
+    gen = np.random.default_rng(77)
+    return gen.standard_normal(300), gen.standard_normal(260)
+
+
+class TestAbJoin:
+    def test_matches_naive(self, two_series):
+        a, b = two_series
+        join = stomp_ab_join(a, b, 20)
+        n_b = b.size - 20 + 1
+        for i in (0, 50, 200):
+            truth = min(
+                znormalized_distance(a[i : i + 20], b[j : j + 20])
+                for j in range(n_b)
+            )
+            assert join.profile[i] == pytest.approx(truth, abs=1e-6)
+
+    def test_index_points_into_b(self, two_series):
+        a, b = two_series
+        join = stomp_ab_join(a, b, 20)
+        n_b = b.size - 20 + 1
+        assert join.index.min() >= 0
+        assert join.index.max() < n_b
+
+    def test_no_exclusion_zone(self):
+        """Identical series: every window's cross-NN is itself at 0."""
+        t = np.random.default_rng(1).standard_normal(200)
+        join = stomp_ab_join(t, t, 16)
+        np.testing.assert_allclose(join.profile, 0.0, atol=1e-5)
+        np.testing.assert_array_equal(join.index, np.arange(join.profile.size))
+
+    def test_asymmetric_shapes(self, two_series):
+        a, b = two_series
+        assert stomp_ab_join(a, b, 20).profile.size == a.size - 19
+        assert stomp_ab_join(b, a, 20).profile.size == b.size - 19
+
+    def test_planted_cross_match(self, two_series):
+        a, b = two_series
+        a = a.copy()
+        b = b.copy()
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 30))
+        a[60:90] += 6 * pattern
+        b[150:180] += 6 * pattern
+        pair, _ = ab_join_motif(a, b, 30)
+        assert abs(pair.a - 60) <= 5
+        assert abs(pair.b - 150) <= 5
+
+    def test_length_validation(self, two_series):
+        a, b = two_series
+        with pytest.raises(InvalidParameterError):
+            stomp_ab_join(a, b, 1)
+        with pytest.raises(InvalidParameterError):
+            stomp_ab_join(a, b, 500)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_naive_property(self, seed, length):
+        gen = np.random.default_rng(seed)
+        a = gen.standard_normal(length * 4)
+        b = gen.standard_normal(length * 3)
+        join = stomp_ab_join(a, b, length)
+        i = int(gen.integers(0, a.size - length + 1))
+        truth = min(
+            znormalized_distance(a[i : i + length], b[j : j + length])
+            for j in range(b.size - length + 1)
+        )
+        assert join.profile[i] == pytest.approx(truth, abs=1e-5)
+
+
+class TestMpdist:
+    def test_self_distance_zero(self, two_series):
+        a, _ = two_series
+        assert mpdist(a, a, 20) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetry(self, two_series):
+        a, b = two_series
+        assert mpdist(a, b, 20) == pytest.approx(mpdist(b, a, 20), abs=1e-9)
+
+    def test_non_negative(self, two_series):
+        a, b = two_series
+        assert mpdist(a, b, 20) >= 0.0
+
+    def test_shared_structure_reduces_distance(self):
+        gen = np.random.default_rng(3)
+        pattern = np.sin(np.linspace(0, 6 * np.pi, 150))
+        a = gen.standard_normal(300) * 0.2
+        b = gen.standard_normal(300) * 0.2
+        c = gen.standard_normal(300) * 0.2
+        a[50:200] += pattern
+        b[100:250] += pattern  # shares the pattern, misaligned
+        d_related = mpdist(a, b, 30)
+        d_unrelated = mpdist(a, c, 30)
+        assert d_related < d_unrelated
+
+    def test_threshold_monotone(self, two_series):
+        a, b = two_series
+        small = mpdist(a, b, 20, threshold=0.02)
+        large = mpdist(a, b, 20, threshold=0.5)
+        assert small <= large + 1e-9
+
+    def test_threshold_validation(self, two_series):
+        a, b = two_series
+        with pytest.raises(InvalidParameterError):
+            mpdist(a, b, 20, threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            mpdist(a, b, 20, threshold=1.5)

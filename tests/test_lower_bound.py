@@ -1,0 +1,178 @@
+"""Property and unit tests for the Eq. 2 lower bound — VALMOD's core lemma.
+
+Two properties carry the whole algorithm:
+
+1. **Admissibility**: LB(d[i,j; l+k]) <= d[i,j; l+k] for all i, j, k.
+2. **Rank preservation**: within one profile the LB ordering is the same
+   for every horizon k.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lower_bound import (
+    lower_bound_base,
+    lower_bound_distance,
+    lower_bound_from_base,
+    lower_bound_profile,
+    tightness_of_lower_bound,
+)
+from repro.analysis.ranking_study import lower_bound_rank_agreement
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+
+
+def random_series(seed, n):
+    return np.random.default_rng(seed).standard_normal(n)
+
+
+class TestAdmissibility:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(4, 24),
+        st.integers(0, 20),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_lb_never_exceeds_true_distance(self, seed, length, k):
+        rng = np.random.default_rng(seed)
+        n = length + k + int(rng.integers(length + k, 4 * (length + k)))
+        t = rng.standard_normal(n)
+        n_target = n - (length + k) + 1
+        i = int(rng.integers(0, n_target))
+        j = int(rng.integers(0, n_target))
+        lb = lower_bound_distance(t, i, j, length, k)
+        true = znormalized_distance(
+            t[i : i + length + k], t[j : j + length + k]
+        )
+        assert lb <= true + 1e-7, (
+            f"inadmissible bound: LB={lb} > d={true} (i={i}, j={j}, "
+            f"l={length}, k={k})"
+        )
+
+    def test_admissible_on_structured_data(self, structured_series):
+        t = structured_series
+        for k in (0, 1, 5, 20):
+            lb = lower_bound_profile(t, 100, 40, k)
+            target = 40 + k
+            for j in (0, 50, 150, 300):
+                true = znormalized_distance(
+                    t[100 : 100 + target], t[j : j + target]
+                )
+                assert lb[j] <= true + 1e-7
+
+    def test_admissible_with_smoothly_varying_sigma(self):
+        # A series whose local variance grows: sigma ratios < 1, the
+        # regime where the bound can stay tight over many steps.
+        x = np.linspace(0, 10, 400)
+        t = np.sin(5 * x) * (0.2 + x)
+        for k in (1, 10, 40):
+            lb = lower_bound_profile(t, 10, 30, k)
+            target = 30 + k
+            n_target = t.size - target + 1
+            for j in range(0, n_target, 37):
+                true = znormalized_distance(
+                    t[10 : 10 + target], t[j : j + target]
+                )
+                assert lb[j] <= true + 1e-7
+
+
+class TestRankPreservation:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_lb_ordering_is_k_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(200)
+        owner, length = 40, 16
+        k_far = 24
+        n_target = t.size - (length + k_far) + 1
+        lb1 = lower_bound_profile(t, owner, length, 1)[:n_target]
+        lb2 = lower_bound_profile(t, owner, length, k_far)[:n_target]
+        # argsort with a stable tiebreak must give identical permutations
+        order1 = np.lexsort((np.arange(n_target), np.round(lb1, 10)))
+        order2 = np.lexsort((np.arange(n_target), np.round(lb2, 10)))
+        np.testing.assert_array_equal(order1, order2)
+
+    def test_scaling_between_horizons_is_constant(self):
+        t = random_series(3, 300)
+        owner, length = 50, 20
+        lb_k1 = lower_bound_profile(t, owner, length, 1)
+        lb_k2 = lower_bound_profile(t, owner, length, 2)
+        n = lb_k2.size
+        nonzero = lb_k1[:n] > 1e-12
+        ratios = lb_k2[nonzero] / lb_k1[:n][nonzero]
+        assert np.ptp(ratios) < 1e-9, "the k-step scaling must be per-profile constant"
+
+    def test_rank_agreement_helper_reports_one(self, structured_series):
+        agreement = lower_bound_rank_agreement(
+            structured_series, owner=30, length=25, k1=0, k2=15, top=10
+        )
+        assert agreement == 1.0
+
+
+class TestFormula:
+    def test_negative_correlation_branch(self):
+        # Anti-correlated windows: LB = sqrt(l) * sigma ratio.
+        base = lower_bound_base(-0.8, 16, sigma_owner=2.0)
+        assert base == pytest.approx(math.sqrt(16) * 2.0)
+
+    def test_positive_correlation_branch(self):
+        base = lower_bound_base(0.6, 25, sigma_owner=1.0)
+        assert base == pytest.approx(math.sqrt(25 * (1 - 0.36)))
+
+    def test_perfect_correlation_gives_zero(self):
+        assert lower_bound_base(1.0, 10, 1.0) == pytest.approx(0.0)
+
+    def test_vectorized_matches_scalar(self):
+        qs = np.array([-0.5, 0.0, 0.3, 0.9])
+        vec = lower_bound_base(qs, 12, 1.5)
+        for q, v in zip(qs, vec):
+            assert v == pytest.approx(lower_bound_base(float(q), 12, 1.5))
+
+    def test_from_base_division(self):
+        assert lower_bound_from_base(6.0, 2.0) == pytest.approx(3.0)
+
+    def test_from_base_constant_owner_is_vacuous(self):
+        assert lower_bound_from_base(6.0, 0.0) == 0.0
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidParameterError):
+            lower_bound_base(0.5, 0, 1.0)
+
+    def test_lower_bound_distance_validation(self):
+        t = random_series(0, 50)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_distance(t, 0, 45, 10, 20)  # owner extension too long
+        with pytest.raises(InvalidParameterError):
+            lower_bound_distance(t, 0, 0, 10, -1)
+
+    def test_profile_owner_out_of_range(self):
+        t = random_series(1, 60)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_profile(t, 50, 10, 10)
+
+
+class TestTightness:
+    def test_range(self, structured_series):
+        t = structured_series
+        lb = lower_bound_profile(t, 60, 30, 10)
+        target = 40
+        true = np.array(
+            [
+                znormalized_distance(t[60 : 60 + target], t[j : j + target])
+                for j in range(t.size - target + 1)
+            ]
+        )
+        tlb = tightness_of_lower_bound(lb, true)
+        assert np.all(tlb >= 0.0)
+        assert np.all(tlb <= 1.0 + 1e-9)
+
+    def test_zero_distance_defines_one(self):
+        assert tightness_of_lower_bound(0.0, 0.0) == 1.0
+
+    def test_scalar_and_array(self):
+        assert tightness_of_lower_bound(1.0, 2.0) == pytest.approx(0.5)
+        out = tightness_of_lower_bound(np.array([1.0, 3.0]), np.array([2.0, 4.0]))
+        np.testing.assert_allclose(out, [0.5, 0.75])

@@ -1,0 +1,110 @@
+"""Tests for the MatrixProfile result object."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotComputedError
+from repro.matrixprofile import MatrixProfile, stomp
+
+
+def make_mp(profile, index, length=10):
+    return MatrixProfile(
+        profile=np.asarray(profile, dtype=float),
+        index=np.asarray(index, dtype=np.int64),
+        length=length,
+    )
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            make_mp([1.0, 2.0], [0])
+
+    def test_bad_length(self):
+        with pytest.raises(InvalidParameterError):
+            make_mp([1.0], [0], length=1)
+
+    def test_len(self):
+        assert len(make_mp([1.0, 2.0, 3.0], [1, 0, 0])) == 3
+
+
+class TestMotifPair:
+    def test_picks_minimum(self):
+        mp = make_mp([3.0, 1.0, 2.0], [2, 2, 1])
+        pair = mp.motif_pair()
+        assert {pair.a, pair.b} == {1, 2}
+        assert pair.distance == 1.0
+
+    def test_all_inf_raises(self):
+        mp = make_mp([np.inf, np.inf], [-1, -1])
+        with pytest.raises(NotComputedError):
+            mp.motif_pair()
+
+    def test_undefined_index_raises(self):
+        mp = make_mp([1.0], [-1])
+        with pytest.raises(NotComputedError):
+            mp.motif_pair()
+
+    def test_canonical_order(self):
+        mp = make_mp([5.0, 1.0], [1, 0])
+        pair = mp.motif_pair()
+        assert pair.a <= pair.b
+
+
+class TestTopKPairs:
+    def test_non_overlapping(self, structured_series):
+        mp = stomp(structured_series, 30)
+        pairs = mp.top_k_pairs(4)
+        assert 1 <= len(pairs) <= 4
+        zone = mp.exclusion
+        occupied = []
+        for pair in pairs:
+            for offset in (pair.a, pair.b):
+                assert all(abs(offset - o) >= zone for o in occupied), (
+                    "top-k pairs must not overlap previous pairs"
+                )
+            occupied.extend([pair.a, pair.b])
+
+    def test_sorted_by_distance(self, structured_series):
+        mp = stomp(structured_series, 30)
+        pairs = mp.top_k_pairs(5)
+        distances = [p.distance for p in pairs]
+        assert distances == sorted(distances)
+
+    def test_first_is_motif_pair(self, noise_series):
+        mp = stomp(noise_series, 16)
+        assert mp.top_k_pairs(1)[0].distance == pytest.approx(
+            mp.motif_pair().distance
+        )
+
+    def test_k_validation(self, noise_series):
+        mp = stomp(noise_series, 16)
+        with pytest.raises(InvalidParameterError):
+            mp.top_k_pairs(0)
+
+
+class TestDiscords:
+    def test_discord_is_profile_max(self, noise_series):
+        mp = stomp(noise_series, 16)
+        discord = mp.discords(1)[0]
+        assert mp.profile[discord] == pytest.approx(np.max(mp.profile))
+
+    def test_discords_respect_exclusion(self, noise_series):
+        mp = stomp(noise_series, 16)
+        discords = mp.discords(3)
+        for i, a in enumerate(discords):
+            for b in discords[i + 1 :]:
+                assert abs(a - b) >= mp.exclusion
+
+    def test_k_validation(self, noise_series):
+        mp = stomp(noise_series, 16)
+        with pytest.raises(InvalidParameterError):
+            mp.discords(0)
+
+
+def test_allclose(noise_series):
+    a = stomp(noise_series, 16)
+    b = stomp(noise_series, 16)
+    c = stomp(noise_series, 17)
+    assert a.allclose(b)
+    assert not a.allclose(c)

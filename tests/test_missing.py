@@ -1,0 +1,118 @@
+"""Tests for the missing-data admissible distance (Eq. 2's provenance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.missing import (
+    admissible_distance,
+    has_missing,
+    missing_aware_profile,
+)
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+
+
+class TestAdmissibleDistance:
+    def test_no_gaps_equals_exact(self, rng):
+        x = rng.standard_normal(30)
+        y = rng.standard_normal(30)
+        assert admissible_distance(x, y) == pytest.approx(
+            znormalized_distance(x, y), abs=1e-9
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 40), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_admissible_under_any_imputation(self, seed, length, n_gaps):
+        """The core property: the bound never exceeds the distance of
+        ANY imputation of the gaps."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(length)
+        y = rng.standard_normal(length)
+        gappy = y.copy()
+        gaps = rng.choice(length, size=min(n_gaps, length - 3), replace=False)
+        gappy[gaps] = np.nan
+        bound = admissible_distance(x, gappy)
+        for _ in range(5):
+            imputed = gappy.copy()
+            imputed[np.isnan(imputed)] = rng.standard_normal(int(np.isnan(imputed).sum())) * 3
+            true = znormalized_distance(x, imputed)
+            assert bound <= true + 1e-6
+
+    def test_double_gaps_vacuous(self, rng):
+        x = rng.standard_normal(20)
+        y = rng.standard_normal(20)
+        x[3] = np.nan
+        y[7] = np.nan
+        assert admissible_distance(x, y) == 0.0
+
+    def test_symmetric_in_which_side_is_gappy(self, rng):
+        x = rng.standard_normal(20)
+        y = rng.standard_normal(20)
+        y_gappy = y.copy()
+        y_gappy[5] = np.nan
+        d1 = admissible_distance(x, y_gappy)
+        d2 = admissible_distance(y_gappy, x)
+        assert d1 == pytest.approx(d2, abs=1e-12)
+
+    def test_mostly_missing_vacuous(self):
+        x = np.arange(10.0)
+        y = np.full(10, np.nan)
+        y[0] = 1.0
+        assert admissible_distance(x, y) == 0.0
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(InvalidParameterError):
+            admissible_distance(rng.standard_normal(5), rng.standard_normal(6))
+
+    def test_too_short(self):
+        with pytest.raises(InvalidSeriesError):
+            admissible_distance(np.array([1.0]), np.array([2.0]))
+
+
+class TestMissingAwareProfile:
+    def test_exact_where_complete(self, rng):
+        t = rng.standard_normal(120)
+        t[60] = np.nan
+        bounds, exact = missing_aware_profile(t, 0, 15)
+        assert exact[0]  # query complete, window 0 == query (no gaps)
+        from repro.distance.profile import naive_distance_profile
+
+        clean_region = np.where(exact)[0]
+        assert clean_region.size > 0
+        for j in clean_region[:10]:
+            true = znormalized_distance(t[0:15], t[j : j + 15])
+            assert bounds[j] == pytest.approx(true, abs=1e-6)
+
+    def test_gappy_windows_flagged(self, rng):
+        t = rng.standard_normal(100)
+        t[50] = np.nan
+        bounds, exact = missing_aware_profile(t, 0, 10)
+        assert not exact[45]  # window [45, 55) covers the gap
+        assert exact[10]
+
+    def test_motif_recovered_despite_gap(self):
+        """Prune-with-bounds workflow: the true motif (complete windows)
+        still has the smallest bound."""
+        rng = np.random.default_rng(4)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 30))
+        t = rng.standard_normal(300)
+        t[40:70] += 6 * pattern
+        t[200:230] += 6 * pattern
+        t[120] = np.nan
+        bounds, exact = missing_aware_profile(t, 40, 30)
+        bounds[25:55] = np.inf  # exclusion zone around the query
+        best = int(np.argmin(np.where(exact, bounds, np.inf)))
+        assert abs(best - 200) <= 10
+
+    def test_validation(self, rng):
+        t = rng.standard_normal(50)
+        with pytest.raises(InvalidParameterError):
+            missing_aware_profile(t, 48, 10)
+
+
+def test_has_missing(rng):
+    t = rng.standard_normal(10)
+    assert not has_missing(t)
+    t[3] = np.nan
+    assert has_missing(t)

@@ -1,0 +1,104 @@
+"""Tests for the MOEN baseline — exactness and its cross-length bound."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.moen import MoenStats, moen, moen_step_factor
+from repro.baselines.stomp_range import stomp_range
+from repro.distance.sliding import moving_mean_std
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import BudgetExceededError, InvalidParameterError
+from repro.matrixprofile import stomp
+
+
+def assert_same_motifs(mine, reference, atol=1e-6):
+    assert set(mine) == set(reference)
+    for length in reference:
+        assert mine[length].distance == pytest.approx(
+            reference[length].distance, abs=atol
+        )
+
+
+class TestExactness:
+    def test_noise(self, noise_series):
+        assert_same_motifs(
+            moen(noise_series, 16, 24), stomp_range(noise_series, 16, 24)
+        )
+
+    def test_structured(self, structured_series):
+        assert_same_motifs(
+            moen(structured_series, 40, 52), stomp_range(structured_series, 40, 52)
+        )
+
+    def test_planted(self, planted):
+        assert_same_motifs(
+            moen(planted.series, 36, 44), stomp_range(planted.series, 36, 44)
+        )
+
+    def test_no_refresh_fallback_still_exact(self, noise_series):
+        """refresh_fraction=1.0 never falls back to full STOMP: the
+        row-by-row path alone must stay exact."""
+        assert_same_motifs(
+            moen(noise_series, 16, 20, refresh_fraction=1.0),
+            stomp_range(noise_series, 16, 20),
+        )
+
+    def test_always_refresh_still_exact(self, noise_series):
+        assert_same_motifs(
+            moen(noise_series, 16, 20, refresh_fraction=0.0),
+            stomp_range(noise_series, 16, 20),
+        )
+
+
+class TestStepFactorBound:
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_bound_is_admissible_for_matrix_profile(self, seed, length):
+        """mp(l+1)[i] >= factor[i] * mp(l)[i]: the per-row carry-forward
+        MOEN relies on."""
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(length * 6)
+        mp_l = stomp(t, length).profile
+        mp_next = stomp(t, length + 1).profile
+        _, sig_l = moving_mean_std(t, length)
+        _, sig_next = moving_mean_std(t, length + 1)
+        factors = moen_step_factor(sig_l, sig_next, mp_next.size)
+        bound = factors * mp_l[: mp_next.size]
+        ok = mp_next >= bound - 1e-7
+        assert ok.all(), (
+            f"MOEN bound violated at rows {np.where(~ok)[0][:5]}"
+        )
+
+    def test_pairwise_bound_derivation(self, rng):
+        """d(l+1)^2 >= l (a-b)^2 + a b d(l)^2 for explicit windows."""
+        t = rng.standard_normal(120)
+        length = 20
+        for i, j in [(0, 40), (10, 70), (25, 90)]:
+            d_l = znormalized_distance(t[i : i + length], t[j : j + length])
+            d_next = znormalized_distance(
+                t[i : i + length + 1], t[j : j + length + 1]
+            )
+            a = t[i : i + length].std() / t[i : i + length + 1].std()
+            b = t[j : j + length].std() / t[j : j + length + 1].std()
+            bound = np.sqrt(length * (a - b) ** 2 + a * b * d_l**2)
+            assert d_next >= bound - 1e-7
+
+
+class TestBehaviour:
+    def test_stats_recorded(self, noise_series):
+        stats = MoenStats()
+        moen(noise_series, 16, 20, stats=stats)
+        assert stats.lengths == list(range(17, 21))
+        assert len(stats.candidate_counts) == 4
+        assert stats.elapsed_seconds > 0
+
+    def test_deadline_raises(self, structured_series):
+        with pytest.raises(BudgetExceededError):
+            moen(structured_series, 40, 80, deadline=time.perf_counter() - 1.0)
+
+    def test_reversed_range_rejected(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            moen(noise_series, 24, 16)

@@ -1,0 +1,128 @@
+"""Tests for Algorithms 5-6 (variable-length motif sets) — invariant 7."""
+
+import numpy as np
+import pytest
+
+from repro.core.motif_sets import (
+    compute_motif_sets,
+    find_motif_sets,
+    motif_set_summary,
+)
+from repro.core.valmod import Valmod
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+
+@pytest.fixture(scope="module")
+def repeated_pattern_series():
+    """Noise with five planted copies: motif sets should recover most."""
+    rng = np.random.default_rng(17)
+    t = rng.standard_normal(1200)
+    pattern = np.sin(np.linspace(0, 4 * np.pi, 50)) * np.hanning(50)
+    positions = [100, 320, 540, 760, 980]
+    for pos in positions:
+        t[pos : pos + 50] += 5.0 * (1.0 + 0.03 * rng.standard_normal()) * pattern
+    return t, positions
+
+
+@pytest.fixture(scope="module")
+def motif_sets_result(repeated_pattern_series):
+    series, _ = repeated_pattern_series
+    sets = find_motif_sets(series, 44, 56, k=6, radius_factor=3.0, p=20)
+    return series, sets
+
+
+class TestStructuralGuarantees:
+    def test_sets_not_empty(self, motif_sets_result):
+        _, sets = motif_sets_result
+        assert sets
+
+    def test_disjointness(self, motif_sets_result):
+        _, sets = motif_sets_result
+        seen = set()
+        for ms in sets:
+            for member in ms.members:
+                key = (member, ms.length)
+                assert key not in seen
+                seen.add(key)
+
+    def test_radius_membership(self, motif_sets_result):
+        series, sets = motif_sets_result
+        for ms in sets:
+            for member in ms.members:
+                d_a = znormalized_distance(
+                    series[member : member + ms.length],
+                    series[ms.pair.a : ms.pair.a + ms.length],
+                )
+                d_b = znormalized_distance(
+                    series[member : member + ms.length],
+                    series[ms.pair.b : ms.pair.b + ms.length],
+                )
+                assert min(d_a, d_b) < ms.radius + 1e-9
+
+    def test_no_trivial_matches_within_set(self, motif_sets_result):
+        _, sets = motif_sets_result
+        for ms in sets:
+            zone = exclusion_zone_half_width(ms.length)
+            members = sorted(ms.members)
+            for a, b in zip(members, members[1:]):
+                assert b - a >= zone
+
+    def test_minimum_cardinality(self, motif_sets_result):
+        _, sets = motif_sets_result
+        for ms in sets:
+            assert ms.frequency >= 2
+
+    def test_recovers_planted_copies(self, repeated_pattern_series, motif_sets_result):
+        _, positions = repeated_pattern_series
+        _, sets = motif_sets_result
+        best = max(sets, key=lambda ms: ms.frequency)
+        hits = sum(
+            1
+            for pos in positions
+            if any(abs(m - pos) <= 15 for m in best.members)
+        )
+        assert hits >= 4, f"expected >=4 of 5 planted copies, got {hits}"
+
+
+class TestParameters:
+    def test_radius_factor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            compute_motif_sets(np.zeros(100), [], 0.0)
+
+    def test_larger_radius_grows_sets(self, repeated_pattern_series):
+        series, _ = repeated_pattern_series
+        small = find_motif_sets(series, 48, 52, k=3, radius_factor=2.0, p=20)
+        large = find_motif_sets(series, 48, 52, k=3, radius_factor=6.0, p=20)
+        if small and large:
+            assert max(s.frequency for s in large) >= max(
+                s.frequency for s in small
+            )
+
+    def test_k_limits_sets(self, repeated_pattern_series):
+        series, _ = repeated_pattern_series
+        sets = find_motif_sets(series, 48, 52, k=2, radius_factor=3.0, p=20)
+        assert len(sets) <= 2
+
+    def test_summary_format(self, motif_sets_result):
+        _, sets = motif_sets_result
+        line = motif_set_summary(sets[0])
+        assert "length=" in line and "freq=" in line
+
+
+class TestSnapshotVsRecomputePath:
+    def test_paths_agree(self, repeated_pattern_series):
+        """Sets built from listDP snapshots must equal sets built by
+        recomputing every profile (strip the snapshots to force it)."""
+        series, _ = repeated_pattern_series
+        run = Valmod(series, 48, 52, p=20, track_top_k=4).run()
+        pairs = run.best_k_pairs()
+        via_snapshots = compute_motif_sets(series, pairs, 3.0)
+        for record in pairs:
+            record.profile_a = None
+            record.profile_b = None
+        via_recompute = compute_motif_sets(series, pairs, 3.0)
+        assert len(via_snapshots) == len(via_recompute)
+        for a, b in zip(via_snapshots, via_recompute):
+            assert a.members == b.members

@@ -1,0 +1,125 @@
+"""Tests for mSTAMP multidimensional motif discovery."""
+
+import numpy as np
+import pytest
+
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.matrixprofile import stomp
+from repro.multidim import mstamp, multidim_motifs
+
+
+@pytest.fixture(scope="module")
+def planted_2of3():
+    """3-dim series with a motif planted in dimensions 0 and 2 only."""
+    rng = np.random.default_rng(13)
+    d, n, length = 3, 500, 40
+    data = rng.standard_normal((d, n))
+    pattern = 4 * np.sin(np.linspace(0, 4 * np.pi, length)) * np.hanning(length)
+    for dim in (0, 2):
+        data[dim, 100 : 100 + length] += pattern
+        data[dim, 350 : 350 + length] += pattern
+    return data, length, (100, 350), (0, 2)
+
+
+class TestMstamp:
+    def test_shapes(self, planted_2of3):
+        data, length, _, _ = planted_2of3
+        mp = mstamp(data, length)
+        n_subs = data.shape[1] - length + 1
+        assert mp.profile.shape == (3, n_subs)
+        assert mp.index.shape == (3, n_subs)
+        assert mp.n_dimensions == 3
+
+    def test_one_dim_profile_is_min_over_dims(self, planted_2of3):
+        """Row k=1 must equal the pointwise minimum of the per-dimension
+        single-series matrix profiles (modulo trivial-match handling)."""
+        data, length, _, _ = planted_2of3
+        mp = mstamp(data, length)
+        singles = np.array(
+            [stomp(data[dim], length).profile for dim in range(3)]
+        )
+        expected = singles.min(axis=0)
+        finite = np.isfinite(expected)
+        np.testing.assert_allclose(
+            mp.profile[0][finite], expected[finite], atol=1e-6
+        )
+
+    def test_profiles_monotone_in_k(self, planted_2of3):
+        """Averaging over more (sorted ascending) dimensions can only
+        increase the value: profile rows are monotone in k."""
+        data, length, _, _ = planted_2of3
+        mp = mstamp(data, length)
+        finite = np.isfinite(mp.profile).all(axis=0)
+        for k in range(1, 3):
+            assert np.all(
+                mp.profile[k][finite] >= mp.profile[k - 1][finite] - 1e-9
+            )
+
+    def test_finds_2dim_motif_with_correct_dimensions(self, planted_2of3):
+        data, length, positions, dims = planted_2of3
+        motif = mstamp(data, length).motif(2, series=data)
+        assert abs(motif.a - positions[0]) <= 10
+        assert abs(motif.b - positions[1]) <= 10
+        assert set(motif.dimensions) == set(dims)
+
+    def test_k2_motif_distance_is_mean_of_dim_distances(self, planted_2of3):
+        data, length, _, _ = planted_2of3
+        motif = mstamp(data, length).motif(2, series=data)
+        per_dim = sorted(
+            znormalized_distance(
+                data[dim, motif.a : motif.a + length],
+                data[dim, motif.b : motif.b + length],
+            )
+            for dim in range(3)
+        )
+        assert motif.distance == pytest.approx(
+            (per_dim[0] + per_dim[1]) / 2.0, abs=1e-6
+        )
+
+    def test_3dim_motif_not_the_planted_pair_necessarily(self, planted_2of3):
+        """With the motif in only 2 of 3 dims, the k=3 average includes
+        a noise dimension: its distance must exceed the k=2 motif's."""
+        data, length, _, _ = planted_2of3
+        mp = mstamp(data, length)
+        assert mp.motif(3).distance > mp.motif(2).distance
+
+
+class TestMultidimMotifs:
+    def test_returns_all_k(self, planted_2of3):
+        data, length, _, _ = planted_2of3
+        motifs = multidim_motifs(data, length)
+        assert [m.k for m in motifs] == [1, 2, 3]
+        assert all(len(m.dimensions) == m.k for m in motifs)
+
+    def test_non_trivial_pairs(self, planted_2of3):
+        from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+        data, length, _, _ = planted_2of3
+        for motif in multidim_motifs(data, length):
+            assert abs(motif.a - motif.b) >= exclusion_zone_half_width(length)
+
+
+class TestValidation:
+    def test_rejects_1d(self, rng):
+        with pytest.raises(InvalidSeriesError):
+            mstamp(rng.standard_normal(100), 10)
+
+    def test_rejects_nan(self, rng):
+        data = rng.standard_normal((2, 100))
+        data[0, 5] = np.nan
+        with pytest.raises(InvalidSeriesError):
+            mstamp(data, 10)
+
+    def test_rejects_bad_length(self, rng):
+        data = rng.standard_normal((2, 100))
+        with pytest.raises(InvalidParameterError):
+            mstamp(data, 60)
+
+    def test_motif_k_validation(self, planted_2of3):
+        data, length, _, _ = planted_2of3
+        mp = mstamp(data, length)
+        with pytest.raises(InvalidParameterError):
+            mp.motif(0)
+        with pytest.raises(InvalidParameterError):
+            mp.motif(4)

@@ -1,0 +1,153 @@
+"""Tests for consensus motifs, MPdist matrices, snippets, and MK."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mk import mk_motif
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile import stomp
+from repro.multiseries import consensus_motif, find_snippets, mpdist_matrix
+
+
+@pytest.fixture(scope="module")
+def collection():
+    """Three noisy series all containing the same conserved pattern."""
+    pattern = np.sin(np.linspace(0, 4 * np.pi, 40)) * np.hanning(40)
+    out = []
+    positions = []
+    for s in range(3):
+        gen = np.random.default_rng(s + 5)
+        t = gen.standard_normal(400)
+        pos = 50 + s * 30
+        t[pos : pos + 40] += 5 * pattern
+        out.append(t)
+        positions.append(pos)
+    return out, positions, 40
+
+
+class TestConsensusMotif:
+    def test_finds_conserved_pattern(self, collection):
+        series_list, positions, length = collection
+        cm = consensus_motif(series_list, length)
+        assert abs(cm.start - positions[cm.series_index]) <= 10
+
+    def test_neighbors_land_on_planted_copies(self, collection):
+        series_list, positions, length = collection
+        cm = consensus_motif(series_list, length)
+        for idx, neighbor in enumerate(cm.neighbor_starts):
+            assert abs(neighbor - positions[idx]) <= 10
+
+    def test_radius_is_max_neighbor_distance(self, collection):
+        series_list, positions, length = collection
+        cm = consensus_motif(series_list, length)
+        query = series_list[cm.series_index][cm.start : cm.start + length]
+        distances = [
+            znormalized_distance(
+                query, series_list[i][n : n + length]
+            )
+            for i, n in enumerate(cm.neighbor_starts)
+            if i != cm.series_index
+        ]
+        assert cm.radius == pytest.approx(max(distances), abs=1e-6)
+
+    def test_needs_two_series(self, collection):
+        series_list, _, length = collection
+        with pytest.raises(InvalidParameterError):
+            consensus_motif(series_list[:1], length)
+
+    def test_length_validation(self, collection):
+        series_list, _, _ = collection
+        with pytest.raises(InvalidParameterError):
+            consensus_motif(series_list, 300)
+
+
+class TestMpdistMatrix:
+    def test_shape_and_symmetry(self, collection):
+        series_list, _, length = collection
+        matrix = mpdist_matrix(series_list, length)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_clusters_by_structure(self):
+        """Two sine-family series vs one square-family: the in-family
+        distance must be smaller."""
+        gen = np.random.default_rng(8)
+        x = np.linspace(0, 20 * np.pi, 500)
+        sine_a = np.sin(x) + 0.1 * gen.standard_normal(500)
+        sine_b = np.sin(x + 1.0) + 0.1 * gen.standard_normal(500)
+        square = np.sign(np.sin(x)) + 0.1 * gen.standard_normal(500)
+        matrix = mpdist_matrix([sine_a, sine_b, square], 40)
+        assert matrix[0, 1] < matrix[0, 2]
+        assert matrix[0, 1] < matrix[1, 2]
+
+
+class TestSnippets:
+    @pytest.fixture(scope="class")
+    def two_regime(self):
+        gen = np.random.default_rng(2)
+        x = np.linspace(0, 20 * np.pi, 500)
+        return np.concatenate(
+            [np.sin(x), np.sign(np.sin(x))]
+        ) + 0.05 * gen.standard_normal(1000)
+
+    def test_one_snippet_per_regime(self, two_regime):
+        snippets, _ = find_snippets(two_regime, 50, k=2)
+        assert len(snippets) == 2
+        starts = sorted(s.start for s in snippets)
+        assert starts[0] < 500 <= starts[1]
+
+    def test_coverage_fractions_sum_to_one(self, two_regime):
+        snippets, _ = find_snippets(two_regime, 50, k=2)
+        assert sum(s.coverage_fraction for s in snippets) == pytest.approx(1.0)
+
+    def test_assignment_respects_regimes(self, two_regime):
+        snippets, assignment = find_snippets(two_regime, 50, k=2)
+        first_half = assignment[:400]
+        second_half = assignment[550:]
+        # each half should be dominated by one snippet
+        assert np.bincount(first_half).max() > 0.8 * first_half.size
+        assert np.bincount(second_half).max() > 0.8 * second_half.size
+
+    def test_k_one(self, two_regime):
+        snippets, assignment = find_snippets(two_regime, 50, k=1)
+        assert len(snippets) == 1
+        assert (assignment == 0).all()
+
+    def test_validation(self, two_regime):
+        with pytest.raises(InvalidParameterError):
+            find_snippets(two_regime, 50, k=0)
+        with pytest.raises(InvalidParameterError):
+            find_snippets(two_regime, 600)
+        with pytest.raises(InvalidParameterError):
+            find_snippets(two_regime, 50, stride=0)
+
+
+class TestMK:
+    @pytest.mark.parametrize("length", [16, 24])
+    def test_exact_on_noise(self, noise_series, length):
+        reference = stomp(noise_series, length).motif_pair()
+        pair = mk_motif(noise_series, length)
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_exact_on_structured(self, structured_series):
+        reference = stomp(structured_series, 40).motif_pair()
+        pair = mk_motif(structured_series, 40)
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_exact_on_planted(self, planted):
+        reference = stomp(planted.series, planted.length).motif_pair()
+        pair = mk_motif(planted.series, planted.length)
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_single_reference_still_exact(self, noise_series):
+        reference = stomp(noise_series, 16).motif_pair()
+        pair = mk_motif(noise_series, 16, n_references=1)
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_validation(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            mk_motif(noise_series, 16, n_references=0)
+        with pytest.raises(InvalidParameterError):
+            mk_motif(noise_series, 300)

@@ -1,0 +1,81 @@
+"""Tests for the PAA summarization layer of QUICK MOTIF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.paa import (
+    paa_lower_bound_factor,
+    paa_pairwise_lower_bound,
+    paa_transform,
+)
+from repro.distance.znorm import znormalize, znormalized_distance
+from repro.exceptions import InvalidParameterError
+
+
+def naive_paa(series, start, length, width):
+    window = znormalize(series[start : start + length])
+    seg = length // width
+    return np.array([window[k * seg : (k + 1) * seg].mean() for k in range(width)])
+
+
+class TestTransform:
+    def test_matches_naive(self, rng):
+        t = rng.standard_normal(120)
+        summaries = paa_transform(t, 24, 6)
+        for start in (0, 17, 60, 96):
+            np.testing.assert_allclose(
+                summaries[start], naive_paa(t, start, 24, 6), atol=1e-9
+            )
+
+    def test_shape(self, rng):
+        t = rng.standard_normal(100)
+        assert paa_transform(t, 20, 5).shape == (81, 5)
+
+    def test_constant_window_is_zero(self):
+        t = np.concatenate([np.full(30, 2.0), np.random.default_rng(0).standard_normal(30)])
+        summaries = paa_transform(t, 10, 5)
+        np.testing.assert_allclose(summaries[0], 0.0, atol=1e-12)
+
+    def test_width_validation(self, rng):
+        t = rng.standard_normal(50)
+        with pytest.raises(InvalidParameterError):
+            paa_transform(t, 10, 0)
+        with pytest.raises(InvalidParameterError):
+            paa_transform(t, 10, 11)
+
+    def test_width_equal_length(self, rng):
+        t = rng.standard_normal(60)
+        summaries = paa_transform(t, 8, 8)
+        np.testing.assert_allclose(summaries[5], znormalize(t[5:13]), atol=1e-9)
+
+
+class TestLowerBound:
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 40), st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_admissible_property(self, seed, length, width):
+        rng = np.random.default_rng(seed)
+        if width > length:
+            width = length
+        t = rng.standard_normal(length * 4)
+        summaries = paa_transform(t, length, width)
+        i, j = 0, length * 2
+        lb = paa_pairwise_lower_bound(
+            summaries[[i]], summaries[[j]], length, width
+        )[0, 0]
+        true = znormalized_distance(t[i : i + length], t[j : j + length])
+        assert lb <= true + 1e-7
+
+    def test_factor(self):
+        assert paa_lower_bound_factor(32, 8) == pytest.approx(2.0)
+
+    def test_factor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            paa_lower_bound_factor(10, 0)
+
+    def test_pairwise_shape(self, rng):
+        t = rng.standard_normal(100)
+        s = paa_transform(t, 20, 4)
+        lb = paa_pairwise_lower_bound(s[:3], s[:5], 20, 4)
+        assert lb.shape == (3, 5)
+        assert lb[0, 0] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,122 @@
+"""Tests for the pan (all-lengths) matrix profile."""
+
+import numpy as np
+import pytest
+
+from repro.core.pan import compute_pan_matrix_profile
+from repro.core.valmod import Valmod
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile import stomp
+
+
+@pytest.fixture(scope="module")
+def pan_pair(structured_series):
+    valmod_pan = compute_pan_matrix_profile(
+        structured_series, 40, 50, strategy="valmod", p=20
+    )
+    exact_pan = compute_pan_matrix_profile(structured_series, 40, 50, strategy="exact")
+    return valmod_pan, exact_pan
+
+
+class TestExactness:
+    def test_strategies_agree(self, pan_pair):
+        valmod_pan, exact_pan = pan_pair
+        fin_v = np.isfinite(valmod_pan.distances)
+        fin_e = np.isfinite(exact_pan.distances)
+        np.testing.assert_array_equal(fin_v, fin_e)
+        np.testing.assert_allclose(
+            valmod_pan.distances[fin_v], exact_pan.distances[fin_e], atol=1e-6
+        )
+
+    def test_each_row_is_the_true_matrix_profile(
+        self, pan_pair, structured_series
+    ):
+        valmod_pan, _ = pan_pair
+        for length in (40, 45, 50):
+            mp = valmod_pan.profile_for(length)
+            reference = stomp(structured_series, length)
+            np.testing.assert_allclose(
+                mp.profile[np.isfinite(mp.profile)],
+                reference.profile[np.isfinite(reference.profile)],
+                atol=1e-6,
+            )
+
+    def test_motif_pairs_match_valmod(self, pan_pair, structured_series):
+        valmod_pan, _ = pan_pair
+        run = Valmod(structured_series, 40, 50, p=20).run()
+        pan_pairs = valmod_pan.motif_pairs()
+        for length, pair in run.motif_pairs.items():
+            assert pan_pairs[length].distance == pytest.approx(
+                pair.distance, abs=1e-6
+            )
+
+    def test_noise_series_still_exact(self, noise_series):
+        valmod_pan = compute_pan_matrix_profile(
+            noise_series, 16, 20, strategy="valmod", p=3
+        )
+        exact_pan = compute_pan_matrix_profile(noise_series, 16, 20, strategy="exact")
+        fin = np.isfinite(exact_pan.distances)
+        np.testing.assert_allclose(
+            valmod_pan.distances[fin], exact_pan.distances[fin], atol=1e-6
+        )
+
+
+class TestQueries:
+    def test_valmp_arrays_match_valmp(self, pan_pair, structured_series):
+        valmod_pan, _ = pan_pair
+        norm, lengths = valmod_pan.valmp_arrays()
+        # The pan VALMP is the exhaustive one: compare against the
+        # stomp_range-built VALMP.
+        from repro.baselines.stomp_range import stomp_range
+        from repro.core.valmp import VALMP
+
+        exact = VALMP(structured_series.size - 40 + 1)
+        stomp_range(structured_series, 40, 50, valmp=exact)
+        updated = exact.updated
+        np.testing.assert_allclose(
+            norm[updated], exact.norm_distances[updated], atol=1e-6
+        )
+
+    def test_discords_non_overlapping(self, pan_pair):
+        valmod_pan, _ = pan_pair
+        discords = valmod_pan.discords(k=3)
+        assert discords
+        for i, a in enumerate(discords):
+            for b in discords[i + 1 :]:
+                assert a.start != b.start
+
+    def test_growth_curve(self, pan_pair):
+        valmod_pan, _ = pan_pair
+        curve = valmod_pan.growth_curve(10)
+        assert curve.shape == (11,)
+        assert np.isfinite(curve).all()
+
+    def test_growth_curve_validation(self, pan_pair):
+        valmod_pan, _ = pan_pair
+        with pytest.raises(InvalidParameterError):
+            valmod_pan.growth_curve(10**9)
+
+    def test_profile_for_validation(self, pan_pair):
+        valmod_pan, _ = pan_pair
+        with pytest.raises(InvalidParameterError):
+            valmod_pan.profile_for(39)
+
+    def test_discords_validation(self, pan_pair):
+        valmod_pan, _ = pan_pair
+        with pytest.raises(InvalidParameterError):
+            valmod_pan.discords(k=0)
+
+
+class TestValidation:
+    def test_bad_strategy(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            compute_pan_matrix_profile(noise_series, 16, 20, strategy="magic")
+
+    def test_reversed_range(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            compute_pan_matrix_profile(noise_series, 20, 16)
+
+    def test_build_metadata(self, pan_pair):
+        valmod_pan, exact_pan = pan_pair
+        assert valmod_pan.build_seconds > 0
+        assert exact_pan.repaired_rows == 0

@@ -1,0 +1,112 @@
+"""Tests for the Eq. 3 distance-profile kernel and the exclusion zone."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.profile import (
+    apply_exclusion_zone,
+    correlation_from_qt,
+    distance_profile_from_qt,
+    exclusion_half_width,
+    naive_distance_profile,
+)
+from repro.distance.sliding import moving_mean_std, sliding_dot_product
+from repro.exceptions import InvalidParameterError
+
+
+def fast_profile(series, start, length):
+    mu, sigma = moving_mean_std(series, length)
+    qt = sliding_dot_product(series[start : start + length], series)
+    return distance_profile_from_qt(
+        qt, length, float(mu[start]), float(sigma[start]), mu, sigma
+    )
+
+
+class TestDistanceProfileFromQt:
+    def test_matches_naive(self, rng):
+        t = rng.standard_normal(150)
+        for start, length in [(0, 10), (25, 20), (100, 16)]:
+            np.testing.assert_allclose(
+                fast_profile(t, start, length),
+                naive_distance_profile(t, start, length),
+                atol=1e-6,
+            )
+
+    def test_self_distance_is_zero(self, rng):
+        t = rng.standard_normal(80)
+        profile = fast_profile(t, 30, 12)
+        assert profile[30] == pytest.approx(0.0, abs=1e-6)
+
+    def test_constant_query(self):
+        t = np.concatenate([np.full(20, 2.0), np.random.default_rng(1).standard_normal(40)])
+        profile = fast_profile(t, 0, 10)
+        naive = naive_distance_profile(t, 0, 10)
+        np.testing.assert_allclose(profile, naive, atol=1e-6)
+
+    def test_constant_windows_in_series(self):
+        t = np.concatenate(
+            [np.random.default_rng(2).standard_normal(40), np.full(20, -1.0)]
+        )
+        np.testing.assert_allclose(
+            fast_profile(t, 5, 8), naive_distance_profile(t, 5, 8), atol=1e-6
+        )
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidParameterError):
+            distance_profile_from_qt(np.zeros(3), 0, 0.0, 1.0, np.zeros(3), np.ones(3))
+
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 24))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive_property(self, seed, length):
+        rng = np.random.default_rng(seed)
+        n = length * 3 + int(rng.integers(0, 40))
+        t = rng.standard_normal(n)
+        start = int(rng.integers(0, n - length + 1))
+        np.testing.assert_allclose(
+            fast_profile(t, start, length),
+            naive_distance_profile(t, start, length),
+            atol=1e-5,
+        )
+
+
+class TestCorrelationFromQt:
+    def test_self_correlation_is_one(self, rng):
+        t = rng.standard_normal(60)
+        mu, sigma = moving_mean_std(t, 10)
+        qt = sliding_dot_product(t[20:30], t)
+        corr = correlation_from_qt(qt, 10, float(mu[20]), float(sigma[20]), mu, sigma)
+        assert corr[20] == pytest.approx(1.0, abs=1e-9)
+
+    def test_clipped_to_unit_interval(self, rng):
+        t = rng.standard_normal(60)
+        mu, sigma = moving_mean_std(t, 10)
+        qt = sliding_dot_product(t[0:10], t)
+        corr = correlation_from_qt(qt, 10, float(mu[0]), float(sigma[0]), mu, sigma)
+        assert np.all(corr <= 1.0) and np.all(corr >= -1.0)
+
+
+class TestExclusionZone:
+    def test_masks_center(self):
+        profile = np.zeros(20)
+        apply_exclusion_zone(profile, 10, 3)
+        assert np.isinf(profile[8:13]).all()
+        assert np.isfinite(profile[:8]).all()
+        assert np.isfinite(profile[13:]).all()
+
+    def test_clamps_at_edges(self):
+        profile = np.zeros(10)
+        apply_exclusion_zone(profile, 0, 4)
+        assert np.isinf(profile[:4]).all()
+        apply_exclusion_zone(profile, 9, 4)
+        assert np.isinf(profile[6:]).all()
+
+    def test_custom_value(self):
+        profile = np.zeros(10)
+        apply_exclusion_zone(profile, 5, 2, value=-1.0)
+        assert profile[5] == -1.0
+
+    def test_half_width(self):
+        assert exclusion_half_width(10) == 5
+        assert exclusion_half_width(11) == 6
+        assert exclusion_half_width(2) == 1

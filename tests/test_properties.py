@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+The heavyweight randomized checks that tie the whole system together:
+metric properties of the distance, end-to-end VALMOD-vs-ground-truth on
+random inputs, and degenerate-input behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.stomp_range import stomp_range
+from repro.core.valmod import Valmod
+from repro.datasets.motif_planting import plant_motifs
+from repro.distance.znorm import znormalized_distance
+from repro.matrixprofile import stomp
+
+
+class TestMetricProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, seed, length):
+        """z-normalized ED is the Euclidean distance between normalized
+        vectors, hence a pseudo-metric: the triangle inequality holds."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(length)
+        y = rng.standard_normal(length)
+        z = rng.standard_normal(length)
+        d_xy = znormalized_distance(x, y)
+        d_yz = znormalized_distance(y, z)
+        d_xz = znormalized_distance(x, z)
+        assert d_xz <= d_xy + d_yz + 1e-7
+
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_of_affine_indiscernibles(self, seed, length):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(length)
+        scale = float(rng.uniform(0.5, 3.0))
+        shift = float(rng.uniform(-5, 5))
+        assert znormalized_distance(x, scale * x + shift) < 1e-6
+
+
+class TestValmodRandomized:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(8, 20),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_valmod_equals_ground_truth_on_random_series(
+        self, seed, l_min, range_width
+    ):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(120, 250))
+        series = rng.standard_normal(n)
+        l_max = min(l_min + range_width, n // 2)
+        if l_max < l_min:
+            return
+        p = int(rng.integers(1, 12))
+        run = Valmod(series, l_min, l_max, p=p).run()
+        reference = stomp_range(series, l_min, l_max)
+        for length in reference:
+            assert run.motif_pairs[length].distance == pytest.approx(
+                reference[length].distance, abs=1e-6
+            ), f"seed={seed} length={length} p={p}"
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_valmod_finds_planted_motifs_in_noise(self, seed):
+        rng = np.random.default_rng(seed)
+        length = int(rng.integers(24, 40))
+        pattern = np.sin(np.linspace(0, 4 * np.pi, length))
+        planted = plant_motifs(
+            rng.standard_normal(400), pattern, count=2, scale=6.0, rng=rng
+        )
+        run = Valmod(planted.series, length - 2, length + 2, p=8).run()
+        best = run.best_motif_pair()
+        assert planted.hit(best.a, tolerance=length)
+        assert planted.hit(best.b, tolerance=length)
+
+
+class TestDegenerateInputs:
+    def test_all_constant_series(self):
+        """Every window constant: all distances are 0 by convention; the
+        engines must agree and not crash."""
+        t = np.full(60, 3.0)
+        mp = stomp(t, 8)
+        pair = mp.motif_pair()
+        assert pair.distance == 0.0
+
+    def test_linear_ramp(self):
+        """A pure ramp: every window z-normalizes to the same shape, so
+        all non-trivial distances are ~0."""
+        t = np.linspace(0.0, 10.0, 80)
+        mp = stomp(t, 8)
+        assert mp.motif_pair().distance == pytest.approx(0.0, abs=1e-5)
+
+    def test_step_function(self):
+        t = np.concatenate([np.zeros(40), np.ones(40)])
+        run = Valmod(t, 8, 10, p=4).run()
+        reference = stomp_range(t, 8, 10)
+        for length in reference:
+            assert run.motif_pairs[length].distance == pytest.approx(
+                reference[length].distance, abs=1e-6
+            )
+
+    def test_single_spike_in_flatline(self):
+        t = np.zeros(100)
+        t[50] = 100.0
+        run = Valmod(t, 6, 8, p=4).run()
+        reference = stomp_range(t, 6, 8)
+        for length in reference:
+            assert run.motif_pairs[length].distance == pytest.approx(
+                reference[length].distance, abs=1e-6
+            )
+
+    def test_alternating_series(self):
+        t = np.tile([1.0, -1.0], 50)
+        run = Valmod(t, 8, 12, p=4).run()
+        for pair in run.motif_pairs.values():
+            assert pair.distance == pytest.approx(0.0, abs=1e-6)
+
+    def test_tiny_series_at_validation_boundary(self):
+        t = np.random.default_rng(0).standard_normal(16)
+        run = Valmod(t, 4, 8, p=2).run()
+        assert set(run.motif_pairs) == set(range(4, 9))
+
+    def test_huge_amplitude_series(self):
+        t = np.random.default_rng(1).standard_normal(150) * 1e6 + 1e8
+        run = Valmod(t, 12, 14, p=4).run()
+        reference = stomp_range(t, 12, 14)
+        for length in reference:
+            assert run.motif_pairs[length].distance == pytest.approx(
+                reference[length].distance, abs=1e-4
+            )

@@ -1,0 +1,73 @@
+"""Public-API contract: everything advertised is importable and sane.
+
+These tests protect the packaging surface: ``repro.__all__`` names must
+resolve, the subpackage ``__all__`` lists must be consistent, and the
+headline one-liners from the README must work verbatim.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.distance",
+    "repro.matrixprofile",
+    "repro.core",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.analysis",
+    "repro.harness",
+    "repro.shapelets",
+    "repro.multidim",
+    "repro.multiseries",
+    "repro.io",
+    "repro.viz",
+    "repro.cli",
+    "repro.types",
+    "repro.exceptions",
+]
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ advertises missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ advertises missing {name!r}"
+        )
+
+
+def test_version_present():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_readme_quickstart_verbatim():
+    rng = np.random.default_rng(7)
+    series = rng.standard_normal(2000)
+    result = repro.valmod(series, l_min=64, l_max=70)
+    best = result.best_motif_pair()
+    assert 64 <= best.length <= 70
+    sets = repro.find_motif_sets(series, 64, 70, k=3, radius_factor=3.0)
+    assert isinstance(sets, list)
+
+
+def test_docstrings_on_public_callables():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not isinstance(obj, type(repro)):
+            assert obj.__doc__, f"public callable {name} lacks a docstring"
+
+
+def test_exceptions_exported_consistently():
+    assert repro.InvalidParameterError is repro.exceptions.InvalidParameterError
+    assert issubclass(repro.InvalidSeriesError, repro.ReproError)

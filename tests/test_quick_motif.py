@@ -1,0 +1,94 @@
+"""Tests for the QUICK MOTIF baseline."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.quick_motif import (
+    QuickMotifStats,
+    quick_motif,
+    quick_motif_single,
+)
+from repro.baselines.stomp_range import stomp_range
+from repro.exceptions import BudgetExceededError, InvalidParameterError
+from repro.matrixprofile import stomp
+
+
+class TestExactness:
+    @pytest.mark.parametrize("length", [16, 24])
+    def test_single_length_noise(self, noise_series, length):
+        pair = quick_motif_single(noise_series, length, width=8, leaf_capacity=16)
+        reference = stomp(noise_series, length).motif_pair()
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_single_length_structured(self, structured_series):
+        pair = quick_motif_single(structured_series, 40, width=8, leaf_capacity=16)
+        reference = stomp(structured_series, 40).motif_pair()
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_range_matches_stomp(self, planted):
+        mine = quick_motif(planted.series, 36, 44, width=8, leaf_capacity=16)
+        reference = stomp_range(planted.series, 36, 44)
+        for length in reference:
+            assert mine[length].distance == pytest.approx(
+                reference[length].distance, abs=1e-6
+            )
+
+    @pytest.mark.parametrize("width", [2, 4, 16])
+    def test_exact_for_any_paa_width(self, noise_series, width):
+        pair = quick_motif_single(noise_series, 16, width=width, leaf_capacity=16)
+        reference = stomp(noise_series, 16).motif_pair()
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    @pytest.mark.parametrize("capacity", [4, 64, 1000])
+    def test_exact_for_any_leaf_capacity(self, noise_series, capacity):
+        pair = quick_motif_single(noise_series, 16, leaf_capacity=capacity)
+        reference = stomp(noise_series, 16).motif_pair()
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+    def test_width_wider_than_length_is_clamped(self, noise_series):
+        pair = quick_motif_single(noise_series, 10, width=64)
+        reference = stomp(noise_series, 10).motif_pair()
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+
+class TestSeeding:
+    def test_initial_pair_used(self, structured_series):
+        exact = stomp(structured_series, 40).motif_pair()
+        pair = quick_motif_single(
+            structured_series, 40, initial_pair=(exact.a, exact.b)
+        )
+        assert pair.distance == pytest.approx(exact.distance, abs=1e-6)
+
+    def test_trivial_initial_pair_ignored(self, noise_series):
+        pair = quick_motif_single(noise_series, 16, initial_pair=(10, 12))
+        reference = stomp(noise_series, 16).motif_pair()
+        assert pair.distance == pytest.approx(reference.distance, abs=1e-6)
+
+
+class TestBehaviour:
+    def test_stats_recorded(self, noise_series):
+        stats = QuickMotifStats()
+        quick_motif(noise_series, 16, 18, stats=stats)
+        assert stats.lengths == [16, 17, 18]
+        assert all(c >= 0 for c in stats.page_pairs_opened)
+
+    def test_deadline_raises(self, noise_series):
+        with pytest.raises(BudgetExceededError):
+            quick_motif(noise_series, 16, 40, deadline=time.perf_counter() - 1.0)
+
+    def test_reversed_range(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            quick_motif(noise_series, 20, 16)
+
+    def test_pruning_beats_exhaustive_on_easy_data(self, structured_series):
+        """On smooth data the best-first search opens only a fraction of
+        all page pairs (on white noise it degrades to exhaustive — the
+        sensitivity the paper reports for QUICK MOTIF)."""
+        stats = QuickMotifStats()
+        quick_motif_single(structured_series, 40, leaf_capacity=8, stats=stats)
+        n_subs = structured_series.size - 40 + 1
+        n_leaves = int(np.ceil(n_subs / 8))
+        all_pairs = n_leaves + n_leaves * (n_leaves - 1) // 2
+        assert stats.page_pairs_opened[0] < 0.5 * all_pairs

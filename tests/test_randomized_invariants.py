@@ -1,0 +1,112 @@
+"""Randomized end-to-end invariant checks (hypothesis).
+
+The DESIGN.md invariants that earlier files check on fixed fixtures,
+re-checked here on randomized inputs: motif-set structure (invariant 7),
+subMP validity semantics, pan-profile exactness, and SAX grouping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.sax import sax_transform, sax_words
+from repro.core.compute_mp import compute_matrix_profile
+from repro.core.compute_submp import compute_submp
+from repro.core.motif_sets import find_motif_sets
+from repro.core.pan import compute_pan_matrix_profile
+from repro.distance.znorm import znormalized_distance
+from repro.matrixprofile import stomp
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+
+class TestMotifSetInvariants:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_structure_on_random_series(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(260)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 24))
+        t[40:64] += 4 * pattern
+        t[160:184] += 4 * pattern
+        sets = find_motif_sets(t, 22, 26, k=3, radius_factor=3.0, p=8)
+        claimed = set()
+        for ms in sets:
+            zone = exclusion_zone_half_width(ms.length)
+            members = sorted(ms.members)
+            assert ms.frequency >= 2
+            for a, b in zip(members, members[1:]):
+                assert b - a >= zone
+            for member in members:
+                key = (member, ms.length)
+                assert key not in claimed
+                claimed.add(key)
+                d_a = znormalized_distance(
+                    t[member : member + ms.length],
+                    t[ms.pair.a : ms.pair.a + ms.length],
+                )
+                d_b = znormalized_distance(
+                    t[member : member + ms.length],
+                    t[ms.pair.b : ms.pair.b + ms.length],
+                )
+                assert min(d_a, d_b) < ms.radius + 1e-9
+
+
+class TestSubMPValiditySemantics:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_valid_entries_are_true_profile_values(self, seed, p):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(180)
+        _, store = compute_matrix_profile(t, 14, p)
+        result = compute_submp(t, store, 15)
+        reference = stomp(t, 15)
+        known = np.isfinite(result.sub_profile)
+        np.testing.assert_allclose(
+            result.sub_profile[known], reference.profile[known], atol=1e-6
+        )
+        if result.found_motif and result.best_pair is not None:
+            assert result.best_distance == pytest.approx(
+                reference.motif_pair().distance, abs=1e-6
+            )
+
+
+class TestPanExactness:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_assisted_equals_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(160)
+        assisted = compute_pan_matrix_profile(t, 12, 15, strategy="valmod", p=4)
+        exhaustive = compute_pan_matrix_profile(t, 12, 15, strategy="exact")
+        finite = np.isfinite(exhaustive.distances)
+        np.testing.assert_array_equal(
+            np.isfinite(assisted.distances), finite
+        )
+        np.testing.assert_allclose(
+            assisted.distances[finite], exhaustive.distances[finite], atol=1e-6
+        )
+
+
+class TestSaxGrouping:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 6), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_packed_words_respect_symbols(self, seed, alphabet, word_len):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(120)
+        length = 24
+        symbols = sax_transform(t, length, word_len, alphabet)
+        words = sax_words(t, length, word_len, alphabet)
+        # Equal packed word <=> equal symbol row.
+        for i in range(0, len(words), 17):
+            same = np.where(words == words[i])[0]
+            for j in same:
+                np.testing.assert_array_equal(symbols[i], symbols[j])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_subsequences_share_words(self, seed):
+        rng = np.random.default_rng(seed)
+        block = rng.standard_normal(30)
+        t = np.concatenate([block, rng.standard_normal(25), block])
+        words = sax_words(t, 30, 6, 4)
+        assert words[0] == words[55]

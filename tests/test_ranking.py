@@ -1,0 +1,83 @@
+"""Tests for cross-length motif ranking (Section 3 utilities)."""
+
+import pytest
+
+from repro.core.ranking import (
+    deduplicate_pairs,
+    rank_motif_pairs,
+    top_motifs_across_lengths,
+)
+from repro.exceptions import InvalidParameterError
+from repro.types import MotifPair
+
+
+def pair(a, b, length, dist):
+    return MotifPair.build(a, b, length, dist)
+
+
+class TestRank:
+    def test_sorted_by_normalized(self):
+        pairs = [pair(0, 100, 16, 4.0), pair(0, 100, 64, 4.0)]
+        ranked = rank_motif_pairs(pairs)
+        assert ranked[0].length == 64  # same raw distance, longer wins
+
+    def test_empty(self):
+        assert rank_motif_pairs([]) == []
+
+
+class TestDeduplicate:
+    def test_collapses_shifted_rediscoveries(self):
+        pairs = [
+            pair(100, 300, 40, 1.0),
+            pair(101, 301, 41, 1.2),  # same motif, one step longer
+            pair(102, 302, 42, 1.3),
+        ]
+        assert len(deduplicate_pairs(pairs)) == 1
+
+    def test_keeps_best_representative(self):
+        pairs = [pair(100, 300, 40, 2.0), pair(101, 301, 41, 1.0)]
+        kept = deduplicate_pairs(pairs)
+        assert len(kept) == 1
+        assert kept[0].distance == 1.0
+
+    def test_distinct_motifs_survive(self):
+        pairs = [pair(0, 300, 40, 1.0), pair(600, 900, 40, 1.1)]
+        assert len(deduplicate_pairs(pairs)) == 2
+
+    def test_crossed_duplicates_detected(self):
+        pairs = [pair(100, 300, 40, 1.0), pair(300, 100, 40, 1.1)]
+        assert len(deduplicate_pairs(pairs)) == 1
+
+    def test_length_gap_limits_collapse(self):
+        pairs = [pair(100, 300, 40, 1.0), pair(100, 300, 80, 7.0)]
+        # with a tight gap the two lengths are treated as different motifs
+        assert len(deduplicate_pairs(pairs, min_length_gap=10)) == 2
+        assert len(deduplicate_pairs(pairs, min_length_gap=0)) == 1
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            deduplicate_pairs([], min_length_gap=-1)
+
+
+class TestTopAcrossLengths:
+    def test_returns_k(self):
+        pairs = {
+            40: pair(0, 300, 40, 1.0),
+            41: pair(600, 900, 41, 1.5),
+            42: pair(1200, 1500, 42, 2.0),
+        }
+        top = top_motifs_across_lengths(pairs, 2)
+        assert len(top) == 2
+        assert top[0].distance == 1.0
+
+    def test_dedup_toggle(self):
+        pairs = {
+            40: pair(100, 300, 40, 1.0),
+            41: pair(101, 301, 41, 1.2),
+        }
+        assert len(top_motifs_across_lengths(pairs, 5, deduplicate=False)) == 2
+        assert len(top_motifs_across_lengths(pairs, 5, deduplicate=True)) == 1
+
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            top_motifs_across_lengths({}, 0)

@@ -1,0 +1,82 @@
+"""Tests for the Hilbert-packed MBR index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree import MBRIndex
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def points(rng):
+    return rng.standard_normal((130, 4))
+
+
+class TestConstruction:
+    def test_leaves_cover_all_rows(self, points):
+        index = MBRIndex(points, leaf_capacity=16)
+        rows = np.concatenate([leaf.rows for leaf in index.leaves])
+        assert sorted(rows.tolist()) == list(range(points.shape[0]))
+
+    def test_leaf_sizes(self, points):
+        index = MBRIndex(points, leaf_capacity=16)
+        sizes = [leaf.rows.size for leaf in index.leaves]
+        assert all(s <= 16 for s in sizes)
+        assert sum(sizes) == 130
+
+    def test_mbr_contains_points(self, points):
+        index = MBRIndex(points, leaf_capacity=16)
+        for leaf in index.leaves:
+            block = points[leaf.rows]
+            assert (block >= leaf.lo - 1e-12).all()
+            assert (block <= leaf.hi + 1e-12).all()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MBRIndex(np.empty((0, 3)))
+        with pytest.raises(InvalidParameterError):
+            MBRIndex(np.zeros((5, 3)), leaf_capacity=0)
+
+
+class TestMinDistance:
+    def test_self_pair_is_zero(self, points):
+        index = MBRIndex(points, leaf_capacity=16)
+        assert index.mbr_min_distance(0, 0) == 0.0
+
+    def test_lower_bounds_point_distances(self, points):
+        index = MBRIndex(points, leaf_capacity=16, scale=1.0)
+        for a in range(len(index)):
+            for b in range(a, len(index)):
+                bound = index.mbr_min_distance(a, b)
+                rows_a, rows_b = index.candidate_rows(a, b)
+                best = min(
+                    float(np.linalg.norm(points[i] - points[j]))
+                    for i in rows_a
+                    for j in rows_b
+                    if i != j
+                )
+                assert bound <= best + 1e-9
+
+    def test_scale_applied(self, points):
+        plain = MBRIndex(points, leaf_capacity=16, scale=1.0)
+        scaled = MBRIndex(points, leaf_capacity=16, scale=3.0)
+        for a in range(len(plain)):
+            for b in range(len(plain)):
+                assert scaled.mbr_min_distance(a, b) == pytest.approx(
+                    3.0 * plain.mbr_min_distance(a, b)
+                )
+
+
+class TestLeafPairsAscending:
+    def test_yields_all_pairs_in_order(self, points):
+        index = MBRIndex(points, leaf_capacity=32)
+        n = len(index)
+        pairs = list(index.leaf_pairs_ascending())
+        assert len(pairs) == n + n * (n - 1) // 2
+        bounds = [p[0] for p in pairs]
+        assert bounds == sorted(bounds)
+
+    def test_diagonal_pairs_first(self, points):
+        index = MBRIndex(points, leaf_capacity=32)
+        first = list(index.leaf_pairs_ascending())[: len(index)]
+        assert all(bound == 0.0 for bound, _, _ in first)

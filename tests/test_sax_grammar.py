@@ -1,0 +1,150 @@
+"""Tests for SAX and the grammar-style approximate baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.grammar_motif import grammar_motif_per_length, grammar_motifs
+from repro.baselines.sax import (
+    gaussian_breakpoints,
+    mindist,
+    sax_transform,
+    sax_words,
+)
+from repro.baselines.stomp_range import stomp_range
+from repro.datasets.motif_planting import plant_motifs
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+
+
+class TestBreakpoints:
+    def test_counts(self):
+        assert gaussian_breakpoints(4).shape == (3,)
+        assert gaussian_breakpoints(2).shape == (1,)
+
+    def test_symmetric_and_sorted(self):
+        bp = gaussian_breakpoints(6)
+        np.testing.assert_allclose(bp, -bp[::-1], atol=1e-12)
+        assert (np.diff(bp) > 0).all()
+
+    def test_equiprobable(self):
+        """Breakpoints must split N(0,1) into equal-mass bins."""
+        rng = np.random.default_rng(0)
+        samples = rng.standard_normal(200_000)
+        symbols = np.searchsorted(gaussian_breakpoints(4), samples)
+        counts = np.bincount(symbols, minlength=4) / samples.size
+        np.testing.assert_allclose(counts, 0.25, atol=0.01)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_breakpoints(1)
+        with pytest.raises(InvalidParameterError):
+            gaussian_breakpoints(27)
+
+
+class TestSaxTransform:
+    def test_shape_and_range(self, rng):
+        t = rng.standard_normal(200)
+        symbols = sax_transform(t, 32, 8, 4)
+        assert symbols.shape == (169, 8)
+        assert symbols.min() >= 0
+        assert symbols.max() <= 3
+
+    def test_identical_windows_same_word(self):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 32))
+        t = np.concatenate([pattern, np.zeros(20), pattern])
+        symbols = sax_transform(t, 32, 8, 4)
+        np.testing.assert_array_equal(symbols[0], symbols[52])
+
+    def test_words_pack_uniquely(self, rng):
+        t = rng.standard_normal(300)
+        symbols = sax_transform(t, 20, 5, 4)
+        words = sax_words(t, 20, 5, 4)
+        # two positions with equal packed words must have equal symbols
+        seen = {}
+        for pos, word in enumerate(words):
+            if word in seen:
+                np.testing.assert_array_equal(symbols[pos], symbols[seen[word]])
+            seen[int(word)] = pos
+
+    def test_packing_budget(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sax_words(rng.standard_normal(100), 40, 40, 26)
+
+
+class TestMindist:
+    @given(st.integers(0, 2**31 - 1), st.integers(3, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bounds_true_distance(self, seed, alphabet):
+        rng = np.random.default_rng(seed)
+        length, word = 32, 8
+        t = rng.standard_normal(length * 4)
+        symbols = sax_transform(t, length, word, alphabet)
+        i, j = 0, 2 * length
+        lb = mindist(symbols[i], symbols[j], length, alphabet)
+        true = znormalized_distance(t[i : i + length], t[j : j + length])
+        assert lb <= true + 1e-7
+
+    def test_identical_words_zero(self):
+        word = np.array([0, 1, 2, 3])
+        assert mindist(word, word, 16, 4) == 0.0
+
+    def test_adjacent_symbols_zero(self):
+        a = np.array([0, 1, 2, 3])
+        b = np.array([1, 2, 3, 2])
+        assert mindist(a, b, 16, 4) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            mindist(np.array([0, 1]), np.array([0, 1, 2]), 16, 4)
+
+
+class TestGrammarMotifs:
+    @pytest.fixture(scope="class")
+    def planted_strong(self):
+        rng = np.random.default_rng(9)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 40)) * np.hanning(40)
+        return plant_motifs(
+            rng.standard_normal(600), pattern,
+            positions=[100, 400], scale=8.0, rng=rng,
+        )
+
+    def test_finds_strong_planted_motif(self, planted_strong):
+        pair = grammar_motif_per_length(planted_strong.series, 40)
+        assert pair is not None
+        assert planted_strong.hit(pair.a, tolerance=40)
+        assert planted_strong.hit(pair.b, tolerance=40)
+
+    def test_approximate_never_beats_exact(self, planted_strong):
+        """The approximate answer is a real pair, so its distance is an
+        UPPER bound on the exact motif distance — never below it."""
+        exact = stomp_range(planted_strong.series, 38, 42)
+        approx = grammar_motifs(planted_strong.series, 38, 42)
+        for length, pair in approx.items():
+            assert pair.distance >= exact[length].distance - 1e-9
+
+    def test_misses_are_possible_on_noise(self, noise_series):
+        """The unbounded-error behaviour the paper criticizes: on data
+        without strong repeats, the symbolic method may miss lengths or
+        return inflated distances; it must never crash."""
+        approx = grammar_motifs(noise_series, 16, 20)
+        exact = stomp_range(noise_series, 16, 20)
+        for length, pair in approx.items():
+            assert pair.distance >= exact[length].distance - 1e-9
+
+    def test_length_stride(self, planted_strong):
+        approx = grammar_motifs(planted_strong.series, 38, 42, length_stride=2)
+        assert set(approx) <= {38, 40, 42}
+
+    def test_validation(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            grammar_motifs(noise_series, 20, 16)
+        with pytest.raises(InvalidParameterError):
+            grammar_motifs(noise_series, 16, 20, length_stride=0)
+
+    def test_no_trivial_pairs(self, planted_strong):
+        from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+        approx = grammar_motifs(planted_strong.series, 38, 42)
+        for length, pair in approx.items():
+            assert abs(pair.a - pair.b) >= exclusion_zone_half_width(length)

@@ -1,0 +1,106 @@
+"""Tests for the SCRIMP / PRE-SCRIMP engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile import brute_force_matrix_profile, stomp
+from repro.matrixprofile.scrimp import pre_scrimp, scrimp
+from tests.conftest import assert_profiles_close
+
+
+class TestExactness:
+    @pytest.mark.parametrize("length", [8, 16, 33])
+    def test_matches_stomp_noise(self, noise_series, length):
+        assert_profiles_close(
+            scrimp(noise_series, length).profile,
+            stomp(noise_series, length).profile,
+            atol=1e-6,
+        )
+
+    def test_matches_stomp_structured(self, structured_series):
+        assert_profiles_close(
+            scrimp(structured_series, 40).profile,
+            stomp(structured_series, 40).profile,
+            atol=1e-6,
+        )
+
+    def test_matches_brute_with_constant_segments(self):
+        t = np.random.default_rng(3).standard_normal(150)
+        t[40:70] = -2.0
+        assert_profiles_close(
+            scrimp(t, 10).profile,
+            brute_force_matrix_profile(t, 10).profile,
+            atol=1e-6,
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_stomp_property(self, seed, length):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(length * 5 + int(rng.integers(0, 30)))
+        assert_profiles_close(
+            scrimp(t, length).profile, stomp(t, length).profile, atol=1e-5
+        )
+
+
+class TestAnytime:
+    def test_partial_run_is_upper_bound(self, noise_series):
+        exact = stomp(noise_series, 16)
+        partial = scrimp(
+            noise_series, 16, fraction=0.3, rng=np.random.default_rng(0)
+        )
+        finite = np.isfinite(partial.profile)
+        assert np.all(partial.profile[finite] >= exact.profile[finite] - 1e-9)
+
+    def test_full_random_order_is_exact(self, noise_series):
+        shuffled = scrimp(noise_series, 16, rng=np.random.default_rng(5))
+        assert_profiles_close(
+            shuffled.profile, stomp(noise_series, 16).profile, atol=1e-6
+        )
+
+    def test_fraction_validation(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            scrimp(noise_series, 16, fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            scrimp(noise_series, 16, fraction=1.5)
+
+    def test_half_fraction_finds_strong_motif(self, planted):
+        """A planted motif survives even a half-budget anytime run most
+        of the time; with this seed it must."""
+        exact = stomp(planted.series, planted.length).motif_pair()
+        partial = scrimp(
+            planted.series,
+            planted.length,
+            fraction=0.5,
+            rng=np.random.default_rng(2),
+        )
+        pair = partial.motif_pair()
+        assert pair.distance >= exact.distance - 1e-9
+        assert pair.distance <= 2.0 * exact.distance + 1e-9
+
+
+class TestPreScrimp:
+    def test_upper_bound(self, noise_series):
+        exact = stomp(noise_series, 16)
+        approx = pre_scrimp(noise_series, 16)
+        finite = np.isfinite(approx.profile)
+        assert finite.all(), "PRE-SCRIMP covers every position"
+        assert np.all(approx.profile[finite] >= exact.profile[finite] - 1e-6)
+
+    def test_finds_planted_motif(self, planted):
+        approx = pre_scrimp(planted.series, planted.length, stride=8)
+        pair = approx.motif_pair()
+        assert planted.hit(pair.a, tolerance=planted.length)
+        assert planted.hit(pair.b, tolerance=planted.length)
+
+    def test_stride_validation(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            pre_scrimp(noise_series, 16, stride=0)
+
+    def test_stride_one_is_exact(self, noise_series):
+        short = noise_series[:120]
+        exact = stomp(short, 12)
+        approx = pre_scrimp(short, 12, stride=1)
+        assert_profiles_close(approx.profile, exact.profile, atol=1e-6)

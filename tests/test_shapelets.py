@@ -1,0 +1,174 @@
+"""Tests for the shapelet subsystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidParameterError, NotComputedError
+from repro.shapelets import (
+    ShapeletClassifier,
+    best_split,
+    find_shapelets,
+    information_gain,
+    motif_candidates,
+    series_to_shapelet_distance,
+    window_candidates,
+)
+from repro.shapelets.evaluation import entropy
+
+
+def make_two_class_data(n_per_class=6, n=300, seed=0):
+    """Class A carries a smooth bump, class B a sharp sawtooth."""
+    rng = np.random.default_rng(seed)
+    pattern_a = np.hanning(40) * 3.0
+    x = np.arange(40)
+    pattern_b = 3.0 * ((x % 10) / 5.0 - 1.0)
+    series, labels = [], []
+    for _ in range(n_per_class):
+        for pattern, label in ((pattern_a, "A"), (pattern_b, "B")):
+            t = rng.standard_normal(n) * 0.5
+            pos = int(rng.integers(0, n - 40))
+            t[pos : pos + 40] += pattern
+            series.append(t)
+            labels.append(label)
+    return series, labels
+
+
+class TestEvaluation:
+    def test_entropy_bounds(self):
+        assert entropy([]) == 0.0
+        assert entropy(["a", "a"]) == 0.0
+        assert entropy(["a", "b"]) == pytest.approx(1.0)
+        assert entropy(["a", "b", "c", "d"]) == pytest.approx(2.0)
+
+    def test_information_gain_perfect_split(self):
+        distances = np.array([0.1, 0.2, 0.9, 1.0])
+        labels = ["A", "A", "B", "B"]
+        assert information_gain(distances, labels, 0.5) == pytest.approx(1.0)
+
+    def test_information_gain_useless_split(self):
+        distances = np.array([0.1, 0.2, 0.3, 0.4])
+        labels = ["A", "B", "A", "B"]
+        assert information_gain(distances, labels, 0.25) == pytest.approx(0.0)
+
+    def test_degenerate_split_is_zero(self):
+        assert information_gain(np.array([1.0, 2.0]), ["A", "B"], 5.0) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            information_gain(np.array([1.0]), ["A", "B"], 0.5)
+
+    def test_best_split_finds_perfect_threshold(self):
+        distances = np.array([0.1, 0.3, 0.8, 0.9])
+        labels = ["A", "A", "B", "B"]
+        gain, threshold, margin = best_split(distances, labels)
+        assert gain == pytest.approx(1.0)
+        assert 0.3 < threshold < 0.8
+        assert margin == pytest.approx(0.5)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_best_split_gain_in_entropy_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 20))
+        distances = rng.random(n)
+        labels = list(rng.integers(0, 2, n))
+        gain, _, _ = best_split(distances, labels)
+        assert 0.0 <= gain <= entropy(labels) + 1e-12
+
+
+class TestDistanceFeature:
+    def test_exact_match_is_zero(self, rng):
+        t = rng.standard_normal(200)
+        shapelet = t[50:90]
+        assert series_to_shapelet_distance(t, shapelet) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_equal_length_series(self, rng):
+        t = rng.standard_normal(40)
+        d = series_to_shapelet_distance(t, t[::-1].copy())
+        assert d > 0
+
+    def test_shapelet_longer_than_series(self, rng):
+        with pytest.raises(InvalidParameterError):
+            series_to_shapelet_distance(rng.standard_normal(10),
+                                        rng.standard_normal(20))
+
+
+class TestCandidates:
+    def test_window_candidates_counts(self, rng):
+        series = [rng.standard_normal(50), rng.standard_normal(60)]
+        candidates = window_candidates(series, [20], stride=10)
+        # series 0: starts 0,10,20,30 ; series 1: starts 0,10,20,30,40
+        assert len(candidates) == 9
+        assert all(values.size == 20 for values, _, _ in candidates)
+
+    def test_window_stride_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            window_candidates([rng.standard_normal(50)], [10], stride=0)
+
+    def test_motif_candidates_come_from_series(self):
+        series, _ = make_two_class_data(n_per_class=1)
+        candidates = motif_candidates(series, 36, 44, per_series=2)
+        assert candidates
+        for values, source, start in candidates:
+            np.testing.assert_array_equal(
+                values, series[source][start : start + values.size]
+            )
+
+
+class TestDiscovery:
+    def test_finds_discriminative_shapelet(self):
+        series, labels = make_two_class_data()
+        shapelets = find_shapelets(series, labels, 36, 44, k=2, strategy="motif")
+        assert shapelets
+        assert shapelets[0].gain > 0.5
+
+    def test_window_strategy_works(self):
+        series, labels = make_two_class_data(n_per_class=3, n=150)
+        shapelets = find_shapelets(
+            series, labels, 36, 40, k=1, strategy="window", stride=20
+        )
+        assert shapelets[0].gain > 0.4
+
+    def test_single_class_rejected(self):
+        series, _ = make_two_class_data(n_per_class=2)
+        with pytest.raises(InvalidParameterError):
+            find_shapelets(series, ["A"] * len(series), 36, 44)
+
+    def test_unknown_strategy(self):
+        series, labels = make_two_class_data(n_per_class=2)
+        with pytest.raises(InvalidParameterError):
+            find_shapelets(series, labels, 36, 44, strategy="magic")
+
+    def test_shapelets_sorted_by_gain(self):
+        series, labels = make_two_class_data()
+        shapelets = find_shapelets(series, labels, 36, 44, k=3)
+        gains = [s.gain for s in shapelets]
+        assert gains == sorted(gains, reverse=True)
+
+
+class TestClassifier:
+    def test_end_to_end_accuracy(self):
+        train_series, train_labels = make_two_class_data(n_per_class=5, seed=1)
+        test_series, test_labels = make_two_class_data(n_per_class=3, seed=2)
+        clf = ShapeletClassifier(36, 44, n_shapelets=2).fit(
+            train_series, train_labels
+        )
+        assert clf.score(test_series, test_labels) >= 0.8
+
+    def test_transform_shape(self):
+        series, labels = make_two_class_data(n_per_class=2)
+        clf = ShapeletClassifier(36, 44, n_shapelets=2).fit(series, labels)
+        features = clf.transform(series[:3])
+        assert features.shape == (3, len(clf.shapelets_))
+
+    def test_predict_before_fit(self):
+        clf = ShapeletClassifier(36, 44)
+        with pytest.raises(NotComputedError):
+            clf.predict([np.zeros(100)])
+
+    def test_bad_n_shapelets(self):
+        with pytest.raises(InvalidParameterError):
+            ShapeletClassifier(36, 44, n_shapelets=0)

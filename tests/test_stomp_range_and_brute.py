@@ -1,0 +1,60 @@
+"""Tests for the STOMP-per-length and exhaustive baselines."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_variable_length_motifs
+from repro.baselines.stomp_range import stomp_range
+from repro.core.valmp import VALMP
+from repro.exceptions import BudgetExceededError, InvalidParameterError
+from repro.matrixprofile import stomp
+
+
+class TestStompRange:
+    def test_matches_per_length_stomp(self, noise_series):
+        result = stomp_range(noise_series, 16, 20)
+        for length in range(16, 21):
+            reference = stomp(noise_series, length).motif_pair()
+            assert result[length].distance == pytest.approx(
+                reference.distance, abs=1e-9
+            )
+
+    def test_fills_valmp(self, noise_series):
+        valmp = VALMP(noise_series.size - 16 + 1)
+        stomp_range(noise_series, 16, 20, valmp=valmp)
+        assert valmp.updated.any()
+        pair = valmp.motif_pair()
+        assert 16 <= pair.length <= 20
+
+    def test_deadline(self, noise_series):
+        with pytest.raises(BudgetExceededError):
+            stomp_range(noise_series, 16, 60, deadline=time.perf_counter() - 1.0)
+
+    def test_reversed_range(self, noise_series):
+        with pytest.raises(InvalidParameterError):
+            stomp_range(noise_series, 20, 16)
+
+
+class TestBruteForce:
+    def test_matches_stomp_range(self):
+        t = np.random.default_rng(21).standard_normal(120)
+        mine = brute_force_variable_length_motifs(t, 8, 11)
+        reference = stomp_range(t, 8, 11)
+        for length in reference:
+            assert mine[length].distance == pytest.approx(
+                reference[length].distance, abs=1e-6
+            )
+
+    def test_finds_planted(self):
+        from repro.datasets.motif_planting import plant_motifs
+
+        rng = np.random.default_rng(8)
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 24))
+        planted = plant_motifs(
+            rng.standard_normal(200), pattern, positions=[30, 130], scale=5.0
+        )
+        result = brute_force_variable_length_motifs(planted.series, 22, 24)
+        pair = result[24]
+        assert planted.hit(pair.a) and planted.hit(pair.b)

@@ -1,0 +1,76 @@
+"""Tests for the streaming (incremental) matrix profile."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile import StreamingMatrixProfile, stomp
+from tests.conftest import assert_profiles_close
+
+
+@pytest.fixture()
+def feed(rng):
+    return np.random.default_rng(42).standard_normal(350)
+
+
+class TestEquivalenceWithBatch:
+    def test_single_append(self, feed):
+        smp = StreamingMatrixProfile(feed[:-1], length=20)
+        smp.append(float(feed[-1]))
+        batch = stomp(feed, 20)
+        assert_profiles_close(smp.matrix_profile().profile, batch.profile, atol=1e-6)
+
+    def test_many_appends(self, feed):
+        smp = StreamingMatrixProfile(feed[:250], length=20)
+        smp.extend(feed[250:])
+        batch = stomp(feed, 20)
+        assert_profiles_close(smp.matrix_profile().profile, batch.profile, atol=1e-6)
+
+    def test_indices_point_to_true_neighbors(self, feed):
+        smp = StreamingMatrixProfile(feed[:300], length=16)
+        smp.extend(feed[300:])
+        mp = smp.matrix_profile()
+        batch = stomp(feed, 16)
+        # Distances agree; indices may differ only on exact ties.
+        disagreements = mp.index != batch.index
+        if disagreements.any():
+            np.testing.assert_allclose(
+                mp.profile[disagreements], batch.profile[disagreements], atol=1e-6
+            )
+
+    def test_motif_pair_tracks_stream(self, feed):
+        pattern = np.sin(np.linspace(0, 4 * np.pi, 30))
+        series = feed.copy()
+        series[50:80] += 5 * pattern
+        smp = StreamingMatrixProfile(series, length=30)
+        # Stream in a second copy of the pattern.
+        tail = np.random.default_rng(1).standard_normal(60)
+        tail[10:40] += 5 * pattern
+        smp.extend(tail)
+        pair = smp.matrix_profile().motif_pair()
+        assert {True} == {
+            abs(offset - 50) <= 30 or offset >= len(series) - 30
+            for offset in (pair.a, pair.b)
+        }
+
+
+class TestValidation:
+    def test_initial_length_checks(self, feed):
+        with pytest.raises(InvalidParameterError):
+            StreamingMatrixProfile(feed, length=1)
+        with pytest.raises(InvalidParameterError):
+            StreamingMatrixProfile(feed[:20], length=15)
+
+    def test_non_finite_append_rejected(self, feed):
+        smp = StreamingMatrixProfile(feed[:100], length=10)
+        with pytest.raises(InvalidParameterError):
+            smp.append(float("nan"))
+
+    def test_bookkeeping(self, feed):
+        smp = StreamingMatrixProfile(feed[:100], length=10)
+        assert len(smp) == 100
+        assert smp.n_subsequences == 91
+        smp.append(1.0)
+        assert len(smp) == 101
+        assert smp.n_subsequences == 92
+        assert smp.series().size == 101

@@ -1,0 +1,75 @@
+"""Tests for the shared result types."""
+
+import math
+
+import pytest
+
+from repro.types import Motif, MotifPair, MotifSet, length_normalized
+
+
+class TestLengthNormalized:
+    def test_formula(self):
+        assert length_normalized(4.0, 16) == pytest.approx(1.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            length_normalized(1.0, 0)
+
+    def test_identity_at_length_one(self):
+        assert length_normalized(3.0, 1) == 3.0
+
+
+class TestMotif:
+    def test_end(self):
+        assert Motif(10, 5).end == 15
+
+    def test_overlaps(self):
+        assert Motif(0, 10).overlaps(Motif(5, 10))
+        assert not Motif(0, 10).overlaps(Motif(10, 10))
+        assert Motif(5, 10).overlaps(Motif(0, 10))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Motif(0, 1).start = 5
+
+
+class TestMotifPair:
+    def test_build_canonical_order(self):
+        pair = MotifPair.build(20, 5, 10, 2.0)
+        assert (pair.a, pair.b) == (5, 20)
+
+    def test_build_computes_normalization(self):
+        pair = MotifPair.build(0, 10, 25, 5.0)
+        assert pair.normalized_distance == pytest.approx(5.0 * math.sqrt(1 / 25))
+
+    def test_ordering_by_normalized_distance(self):
+        shorter = MotifPair.build(0, 10, 4, 1.0)   # norm 0.5
+        longer = MotifPair.build(0, 30, 16, 1.6)   # norm 0.4
+        assert longer < shorter
+        assert sorted([shorter, longer])[0] is longer
+
+    def test_motifs_property(self):
+        pair = MotifPair.build(3, 9, 4, 1.0)
+        a, b = pair.motifs
+        assert (a.start, a.length) == (3, 4)
+        assert (b.start, b.length) == (9, 4)
+
+    def test_is_trivial(self):
+        pair = MotifPair.build(10, 12, 8, 1.0)
+        assert pair.is_trivial(exclusion=4)
+        assert not pair.is_trivial(exclusion=2)
+
+
+class TestMotifSet:
+    def test_frequency_and_length(self):
+        pair = MotifPair.build(0, 50, 10, 1.0)
+        ms = MotifSet(pair=pair, radius=3.0, members=(0, 50, 100))
+        assert ms.frequency == 3
+        assert ms.length == 10
+
+    def test_member_motifs(self):
+        pair = MotifPair.build(0, 50, 10, 1.0)
+        ms = MotifSet(pair=pair, radius=3.0, members=(0, 50))
+        motifs = ms.member_motifs()
+        assert all(m.length == 10 for m in motifs)
+        assert [m.start for m in motifs] == [0, 50]

@@ -1,0 +1,147 @@
+"""Tests for the VALMP structure (Algorithm 2) and pair tracking (Alg. 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.valmp import VALMP, PartialProfile
+from repro.exceptions import InvalidParameterError, NotComputedError
+
+
+def snapshot_stub(offset, length):
+    return PartialProfile(
+        owner=offset,
+        length=length,
+        neighbors=np.array([0], dtype=np.int64),
+        distances=np.array([1.0]),
+        max_lb=2.0,
+    )
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        v = VALMP(5)
+        assert np.isinf(v.norm_distances).all()
+        assert (v.indices == -1).all()
+        assert not v.updated.any()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            VALMP(0)
+        with pytest.raises(InvalidParameterError):
+            VALMP(5, track_top_k=-1)
+
+    def test_motif_pair_before_update(self):
+        with pytest.raises(NotComputedError):
+            VALMP(5).motif_pair()
+
+
+class TestUpdate:
+    def test_first_update_takes_everything(self):
+        v = VALMP(4)
+        improved = v.update(np.array([2.0, 1.0, 3.0, 4.0]), np.array([1, 0, 1, 2]), 4)
+        assert improved.all()
+        np.testing.assert_allclose(v.norm_distances, np.array([2, 1, 3, 4.0]) / 2.0)
+        assert (v.lengths == 4).all()
+
+    def test_keeps_smaller_normalized_distance(self):
+        v = VALMP(2)
+        v.update(np.array([2.0, 2.0]), np.array([1, 0]), 4)    # norm = 1.0
+        improved = v.update(np.array([2.0, 3.5]), np.array([1, 0]), 16)  # norm 0.5, 0.875
+        assert improved.all()
+        np.testing.assert_allclose(v.norm_distances, [0.5, 0.875])
+        assert (v.lengths == 16).all()
+
+    def test_worse_normalized_distance_ignored(self):
+        v = VALMP(2)
+        v.update(np.array([1.0, 1.0]), np.array([1, 0]), 16)   # norm 0.25
+        improved = v.update(np.array([1.0, 1.0]), np.array([1, 0]), 4)  # norm 0.5
+        assert not improved.any()
+        assert (v.lengths == 16).all()
+
+    def test_nan_entries_skipped(self):
+        v = VALMP(3)
+        improved = v.update(
+            np.array([1.0, np.nan, 2.0]), np.array([1, -1, 0]), 4
+        )
+        np.testing.assert_array_equal(improved, [True, False, True])
+        assert not v.updated[1]
+
+    def test_negative_index_skipped(self):
+        v = VALMP(2)
+        improved = v.update(np.array([1.0, 1.0]), np.array([-1, 0]), 4)
+        np.testing.assert_array_equal(improved, [False, True])
+
+    def test_shorter_profile_allowed(self):
+        v = VALMP(5)
+        improved = v.update(np.array([1.0, 2.0]), np.array([1, 0]), 4)
+        assert improved.shape == (2,)
+        assert not v.updated[2:].any()
+
+    def test_oversized_profile_rejected(self):
+        v = VALMP(2)
+        with pytest.raises(InvalidParameterError):
+            v.update(np.zeros(3), np.zeros(3, dtype=np.int64), 4)
+
+    def test_motif_pair_normalization(self):
+        v = VALMP(2)
+        v.update(np.array([3.0, 4.0]), np.array([1, 0]), 9)
+        pair = v.motif_pair()
+        assert pair.distance == 3.0
+        assert pair.normalized_distance == pytest.approx(3.0 * math.sqrt(1 / 9))
+        assert pair.length == 9
+
+
+class TestPairTracking:
+    def test_disabled_by_default(self):
+        v = VALMP(4)
+        improved = v.update(np.array([1.0] * 4), np.array([1, 0, 3, 2]), 4)
+        v.record_pairs(improved, 4, snapshot_stub)
+        assert v.best_k_pairs() == []
+
+    def test_heap_bounded_by_k(self):
+        v = VALMP(20, track_top_k=3)
+        values = np.linspace(1.0, 3.0, 20)
+        idx = np.roll(np.arange(20), 1)
+        improved = v.update(values, idx, 4)
+        v.record_pairs(improved, 4, snapshot_stub)
+        pairs = v.best_k_pairs()
+        assert len(pairs) == 3
+        norms = [p.normalized_distance for p in pairs]
+        assert norms == sorted(norms)
+        assert norms[0] == pytest.approx(0.5)  # 1.0 / sqrt(4)
+
+    def test_symmetric_duplicates_collapsed(self):
+        v = VALMP(4, track_top_k=10)
+        # positions 0 and 1 point at each other: one canonical pair only
+        improved = v.update(
+            np.array([1.0, 1.0, 5.0, 5.0]), np.array([1, 0, 3, 2], dtype=np.int64), 4
+        )
+        v.record_pairs(improved, 4, snapshot_stub)
+        keys = {(p.a, p.b) if p.a < p.b else (p.b, p.a) for p in v.best_k_pairs()}
+        assert len(keys) == len(v.best_k_pairs())
+
+    def test_snapshots_attached(self):
+        v = VALMP(4, track_top_k=2)
+        improved = v.update(
+            np.array([1.0, 1.0, 5.0, 5.0]), np.array([1, 0, 3, 2], dtype=np.int64), 4
+        )
+        v.record_pairs(improved, 4, snapshot_stub)
+        for pair in v.best_k_pairs():
+            assert pair.profile_a is not None
+            assert pair.profile_b is not None
+
+    def test_better_pairs_evict_worse(self):
+        v = VALMP(4, track_top_k=1)
+        improved = v.update(
+            np.array([4.0, 4.0, 6.0, 6.0]), np.array([1, 0, 3, 2], dtype=np.int64), 4
+        )
+        v.record_pairs(improved, 4, snapshot_stub)
+        improved = v.update(
+            np.array([np.nan, np.nan, 1.0, 1.0]), np.array([-1, -1, 3, 2], dtype=np.int64), 5
+        )
+        v.record_pairs(improved, 5, snapshot_stub)
+        pairs = v.best_k_pairs()
+        assert len(pairs) == 1
+        assert {pairs[0].a, pairs[0].b} == {2, 3}

@@ -1,0 +1,136 @@
+"""Tests for the terminal visualization and I/O helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.valmod import Valmod
+from repro.exceptions import (
+    InvalidParameterError,
+    InvalidSeriesError,
+)
+from repro.io import (
+    load_series,
+    motif_sets_to_dict,
+    result_to_dict,
+    save_result_json,
+    save_series,
+)
+from repro.types import MotifPair, MotifSet
+from repro.viz import motif_view, profile_view, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_width(self, rng):
+        out = sparkline(rng.standard_normal(500), width=60)
+        assert len(out) == 60
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=60)) == 3
+
+    def test_constant_series(self):
+        out = sparkline([5.0] * 10)
+        assert len(set(out)) == 1
+
+    def test_monotone_series_monotone_bars(self):
+        out = sparkline(list(range(8)), width=8)
+        assert list(out) == sorted(out)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sparkline([])
+        with pytest.raises(InvalidParameterError):
+            sparkline([1.0], width=0)
+
+
+class TestProfileView:
+    def test_contains_stats(self, rng):
+        out = profile_view(rng.random(100), label="mp")
+        assert "mp:" in out and "min=" in out and "max=" in out
+
+    def test_handles_inf_entries(self):
+        profile = np.array([1.0, np.inf, 2.0, 3.0])
+        out = profile_view(profile)
+        assert "min=1.000" in out
+
+    def test_all_inf_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            profile_view(np.full(5, np.inf))
+
+
+class TestMotifView:
+    def test_markers_under_occurrences(self, rng):
+        out = motif_view(rng.standard_normal(100), [10, 60], 20, width=100)
+        line, markers = out.splitlines()
+        assert len(line) == len(markers) == 100
+        assert markers[15] == "^" and markers[65] == "^"
+        assert markers[45] == " "
+
+    def test_occurrence_out_of_range(self, rng):
+        with pytest.raises(InvalidParameterError):
+            motif_view(rng.standard_normal(50), [45], 20)
+
+    def test_bad_length(self, rng):
+        with pytest.raises(InvalidParameterError):
+            motif_view(rng.standard_normal(50), [0], 0)
+
+
+class TestSeriesIO:
+    def test_text_round_trip(self, tmp_path, rng):
+        t = rng.standard_normal(100)
+        path = tmp_path / "series.txt"
+        save_series(path, t)
+        np.testing.assert_allclose(load_series(path), t, atol=1e-12)
+
+    def test_npy_round_trip(self, tmp_path, rng):
+        t = rng.standard_normal(100)
+        path = tmp_path / "series.npy"
+        save_series(path, t)
+        np.testing.assert_array_equal(load_series(path), t)
+
+    def test_multi_column_requires_column(self, tmp_path, rng):
+        path = tmp_path / "multi.csv"
+        np.savetxt(path, rng.standard_normal((50, 3)), delimiter=",")
+        with pytest.raises(InvalidParameterError):
+            load_series(path, delimiter=",")
+        col = load_series(path, column=1, delimiter=",")
+        assert col.size == 50
+
+    def test_column_out_of_range(self, tmp_path, rng):
+        path = tmp_path / "multi.csv"
+        np.savetxt(path, rng.standard_normal((10, 2)), delimiter=",")
+        with pytest.raises(InvalidParameterError):
+            load_series(path, column=5, delimiter=",")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidSeriesError):
+            load_series(tmp_path / "nope.txt")
+
+
+class TestResultSerialization:
+    @pytest.fixture(scope="class")
+    def run(self):
+        rng = np.random.default_rng(0)
+        return Valmod(rng.standard_normal(300), 16, 20, p=5).run()
+
+    def test_result_to_dict(self, run):
+        out = result_to_dict(run)
+        assert out["l_min"] == 16 and out["l_max"] == 20
+        assert set(out["motif_pairs"]) == {"16", "17", "18", "19", "20"}
+        assert out["best"]["length"] in range(16, 21)
+        assert out["stats"]["total_seconds"] > 0
+
+    def test_json_file(self, tmp_path, run):
+        path = tmp_path / "result.json"
+        save_result_json(path, run)
+        loaded = json.loads(path.read_text())
+        assert loaded["p"] == 5
+
+    def test_motif_sets_to_dict(self):
+        pair = MotifPair.build(3, 60, 20, 1.5)
+        sets = [MotifSet(pair=pair, radius=4.5, members=(3, 60, 120))]
+        out = motif_sets_to_dict(sets)
+        assert out[0]["frequency"] == 3
+        assert out[0]["members"] == [3, 60, 120]
+        json.dumps(out)  # must be JSON-serializable

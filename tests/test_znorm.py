@@ -1,0 +1,160 @@
+"""Unit and property tests for the z-normalized distance kernel."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.znorm import (
+    CONSTANT_EPS,
+    as_series,
+    distance_to_pearson,
+    pearson_to_distance,
+    znormalize,
+    znormalized_distance,
+)
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+
+
+def finite_arrays(min_size=4, max_size=64):
+    # Values bounded to keep z-normalization numerically well-posed:
+    # the kernel's contract (documented) is float64 data of sane scale.
+    return st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestAsSeries:
+    def test_accepts_list(self):
+        out = as_series([1.0, 2.0, 3.0])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSeriesError):
+            as_series(np.zeros((3, 3)))
+
+    def test_rejects_short(self):
+        with pytest.raises(InvalidSeriesError):
+            as_series([1.0], min_length=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidSeriesError):
+            as_series([1.0, np.nan, 2.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidSeriesError):
+            as_series([1.0, np.inf, 2.0])
+
+    def test_min_length_boundary(self):
+        assert as_series([1.0, 2.0], min_length=2).size == 2
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        out = znormalize([1.0, 2.0, 3.0, 4.0])
+        assert abs(out.mean()) < 1e-12
+        assert abs(out.std() - 1.0) < 1e-12
+
+    def test_constant_maps_to_zeros(self):
+        np.testing.assert_array_equal(znormalize([5.0] * 8), np.zeros(8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSeriesError):
+            znormalize([])
+
+    def test_scale_invariance(self):
+        x = np.array([1.0, -2.0, 0.5, 3.0])
+        np.testing.assert_allclose(znormalize(x), znormalize(3.7 * x + 11.0))
+
+
+class TestZnormalizedDistance:
+    def test_identical_is_zero(self):
+        x = np.array([1.0, 2.0, 0.5, -1.0])
+        assert znormalized_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_affine_copies_are_zero(self):
+        x = np.array([1.0, 2.0, 0.5, -1.0, 4.0])
+        assert znormalized_distance(x, -0.0 + 2.5 * x + 3.0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_symmetry(self):
+        x = np.array([1.0, 2.0, 0.5, -1.0])
+        y = np.array([0.0, 1.0, -1.0, 2.0])
+        assert znormalized_distance(x, y) == pytest.approx(
+            znormalized_distance(y, x)
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            znormalized_distance([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_both_constant(self):
+        assert znormalized_distance([3.0] * 5, [8.0] * 5) == 0.0
+
+    def test_one_constant(self):
+        d = znormalized_distance([3.0] * 5, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert d == pytest.approx(math.sqrt(5))
+
+    def test_anticorrelated_maximum(self):
+        x = np.array([1.0, -1.0, 1.0, -1.0])
+        d = znormalized_distance(x, -x)
+        assert d == pytest.approx(math.sqrt(2 * 4 * 2))  # q = -1
+
+    @given(finite_arrays(), st.floats(0.1, 100.0), st.floats(-50.0, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_affine_invariance_property(self, x, scale, shift):
+        y = np.random.default_rng(0).permutation(x)
+        d1 = znormalized_distance(x, y)
+        d2 = znormalized_distance(scale * x + shift, y)
+        assert d1 == pytest.approx(d2, abs=1e-4)
+
+    @given(finite_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_property(self, x):
+        y = x[::-1].copy()
+        assert znormalized_distance(x, y) >= 0.0
+
+    @given(finite_arrays(min_size=8, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_upper_bound_property(self, x):
+        """z-normalized vectors live on a sphere of radius sqrt(l):
+        the distance can never exceed 2 sqrt(l)."""
+        y = np.roll(x, 3)
+        assert znormalized_distance(x, y) <= 2.0 * math.sqrt(x.size) + 1e-9
+
+
+class TestPearsonConversions:
+    def test_round_trip(self):
+        for q in (-1.0, -0.5, 0.0, 0.3, 0.99, 1.0):
+            d = pearson_to_distance(q, 32)
+            assert distance_to_pearson(d, 32) == pytest.approx(q, abs=1e-12)
+
+    def test_perfect_correlation_zero_distance(self):
+        assert pearson_to_distance(1.0, 100) == 0.0
+
+    def test_clipping(self):
+        assert pearson_to_distance(1.5, 10) == 0.0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(InvalidParameterError):
+            pearson_to_distance(0.5, 0)
+        with pytest.raises(InvalidParameterError):
+            distance_to_pearson(1.0, -1)
+
+    def test_matches_naive_distance(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(40)
+        y = rng.standard_normal(40)
+        q = float(np.corrcoef(x, y)[0, 1])
+        assert pearson_to_distance(q, 40) == pytest.approx(
+            znormalized_distance(x, y), abs=1e-8
+        )
+
+
+def test_constant_eps_is_tiny():
+    assert 0 < CONSTANT_EPS < 1e-10
