@@ -1,0 +1,90 @@
+"""Parallel engine scaling: speedup of parallel-stomp vs worker count.
+
+Not a paper figure — the engineering bench for the chunked parallel
+engine (the substrate of the ROADMAP's scalability goal).  Runs the same
+matrix-profile computation at increasing ``n_jobs``, verifies every run
+is bitwise identical to serial STOMP, and records wall-clock speedups to
+``benchmarks/results/BENCH_parallel_scaling.json`` so the perf
+trajectory is machine-readable across commits.
+
+Defaults to a 50k-point series; ``REPRO_BENCH_FAST=1`` trims to smoke
+size and ``REPRO_BENCH_SCALE`` rescales.  Speedups are only meaningful
+on a machine with as many idle cores as the largest worker count.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _common import RESULTS_DIR, bench_dataset, fast_mode, save_report
+from repro.harness.reporting import format_table
+from repro.matrixprofile import parallel_stomp, stomp
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _bench_size() -> int:
+    if fast_mode():
+        return 4000
+    from repro.harness.config import env_scale
+
+    return max(1024, int(round(50_000 * env_scale())))
+
+
+def _bench_length(n: int) -> int:
+    return max(16, min(256, n // 200))
+
+
+@pytest.fixture(scope="module")
+def series():
+    return bench_dataset("ECG", _bench_size(), seed=3)
+
+
+def test_parallel_scaling(benchmark, series):
+    length = _bench_length(series.size)
+    reference = stomp(series, length)
+
+    def sweep():
+        rows = []
+        for n_jobs in WORKER_COUNTS:
+            start = time.perf_counter()
+            mp = parallel_stomp(series, length, n_jobs=n_jobs)
+            seconds = time.perf_counter() - start
+            rows.append((n_jobs, seconds, mp))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    for n_jobs, _, mp in rows:
+        assert np.array_equal(mp.profile, reference.profile), (
+            f"parallel-stomp n_jobs={n_jobs} diverged from serial stomp"
+        )
+        assert np.array_equal(mp.index, reference.index)
+
+    base = rows[0][1]
+    report_rows = []
+    payload = {
+        "bench": "parallel_scaling",
+        "series_size": int(series.size),
+        "length": int(length),
+        "cpu_count": os.cpu_count(),
+        "bitwise_identical_to_serial": True,
+        "workers": [],
+    }
+    for n_jobs, seconds, _ in rows:
+        speedup = base / seconds if seconds > 0 else float("inf")
+        report_rows.append((n_jobs, f"{seconds:.3f}", f"{speedup:.2f}x"))
+        payload["workers"].append(
+            {"n_jobs": n_jobs, "seconds": seconds, "speedup": speedup}
+        )
+    save_report(
+        "parallel_scaling",
+        format_table(["n_jobs", "seconds", "speedup vs 1 worker"], report_rows)
+        + f"\nseries={series.size} length={length} cpus={os.cpu_count()}",
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

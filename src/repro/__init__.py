@@ -47,6 +47,9 @@ from repro.multidim import mstamp, multidim_motifs
 from repro.matrixprofile import (
     MatrixProfile,
     StreamingMatrixProfile,
+    compute_with,
+    engine_names,
+    parallel_stomp,
     scrimp,
     stamp,
     stomp,
@@ -79,6 +82,9 @@ __all__ = [
     "stomp",
     "stamp",
     "scrimp",
+    "parallel_stomp",
+    "engine_names",
+    "compute_with",
     "Discord",
     "find_discords",
     "PanMatrixProfile",

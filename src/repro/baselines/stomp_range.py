@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.valmp import VALMP
 from repro.distance.znorm import as_series
 from repro.exceptions import BudgetExceededError, InvalidParameterError
+from repro.matrixprofile.parallel import parallel_stomp
 from repro.matrixprofile.stomp import stomp
 from repro.types import MotifPair
 
@@ -28,6 +29,7 @@ def stomp_range(
     l_max: int,
     valmp: Optional[VALMP] = None,
     deadline: Optional[float] = None,
+    n_jobs: Optional[int] = 1,
 ) -> Dict[int, MotifPair]:
     """Exact motif pair per length via repeated STOMP runs.
 
@@ -35,6 +37,8 @@ def stomp_range(
     profile VALMOD produces (useful for cross-checking VALMP semantics).
     ``deadline`` (absolute ``time.perf_counter()`` value) turns slow runs
     into :class:`BudgetExceededError` for the harness's DNF reporting.
+    ``n_jobs > 1`` routes each length through the chunked parallel STOMP
+    engine, whose output is bitwise identical to the serial one.
     """
     t = as_series(series, min_length=8)
     if l_min > l_max:
@@ -45,7 +49,10 @@ def stomp_range(
             raise BudgetExceededError(
                 f"stomp_range exceeded its deadline at length {length}"
             )
-        mp = stomp(t, length)
+        if n_jobs == 1:
+            mp = stomp(t, length)
+        else:
+            mp = parallel_stomp(t, length, n_jobs=n_jobs)
         result[length] = mp.motif_pair()
         if valmp is not None:
             valmp.update(mp.profile, mp.index, length)

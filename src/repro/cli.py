@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``motifs``   run VALMOD on a CSV file or a named synthetic dataset and
              print the ranked variable-length motifs.
+``profile``  compute one fixed-length matrix profile with a chosen
+             engine (``--engine``, ``--n-jobs``).
 ``sets``     run the full Problem-2 pipeline (VALMOD + motif sets).
 ``datasets`` list the synthetic dataset families and their statistics.
 ``bench``    run one of the figure sweeps at a small scale.
@@ -30,6 +32,7 @@ from repro.harness.experiments import (
     sweep_series_size,
 )
 from repro.harness.reporting import format_table
+from repro.matrixprofile.registry import DEFAULT_ENGINE, compute_with, engine_names
 
 __all__ = ["main", "build_parser"]
 
@@ -40,7 +43,7 @@ def _load_series(args: argparse.Namespace) -> np.ndarray:
     return load_dataset(args.dataset, args.points, seed=args.seed)
 
 
-def _add_series_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group()
     source.add_argument("--csv", help="one-column CSV/text file with the series")
     source.add_argument(
@@ -52,9 +55,23 @@ def _add_series_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--delimiter", default=None, help="CSV delimiter")
     parser.add_argument("--points", type=int, default=8000, help="synthetic size")
     parser.add_argument("--seed", type=int, default=0, help="synthetic seed")
+
+
+def _add_series_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_source_arguments(parser)
     parser.add_argument("--l-min", type=int, default=64, dest="l_min")
     parser.add_argument("--l-max", type=int, default=96, dest="l_max")
     parser.add_argument("--p", type=int, default=DEFAULT_P)
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        dest="n_jobs",
+        help="worker processes for parallel engines (0 = all CPUs, default 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,17 +83,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     motifs = sub.add_parser("motifs", help="discover ranked variable-length motifs")
     _add_series_arguments(motifs)
+    _add_jobs_argument(motifs)
     motifs.add_argument("--top", type=int, default=5, help="motifs to print")
     motifs.add_argument("--export", help="write the full result to this JSON file")
+
+    profile = sub.add_parser(
+        "profile", help="compute one fixed-length matrix profile"
+    )
+    _add_source_arguments(profile)
+    profile.add_argument(
+        "--length", type=int, default=64, help="subsequence length (default 64)"
+    )
+    profile.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=list(engine_names()),
+        help=f"matrix-profile engine (default {DEFAULT_ENGINE})",
+    )
+    _add_jobs_argument(profile)
+    profile.add_argument(
+        "--top", type=int, default=5, help="lowest-distance positions to print"
+    )
 
     discords = sub.add_parser(
         "discords", help="discover ranked variable-length discords (anomalies)"
     )
     _add_series_arguments(discords)
+    discords.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=list(engine_names()),
+        help=f"matrix-profile engine (default {DEFAULT_ENGINE})",
+    )
+    _add_jobs_argument(discords)
     discords.add_argument("--top", type=int, default=3, help="discords to print")
 
     sets = sub.add_parser("sets", help="discover variable-length motif sets")
     _add_series_arguments(sets)
+    _add_jobs_argument(sets)
     sets.add_argument("--k", type=int, default=10, help="top-K pairs to extend")
     sets.add_argument("--radius-factor", type=float, default=3.0, dest="radius_factor")
 
@@ -114,12 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=["VALMOD", "STOMP"],
         choices=["VALMOD", "STOMP", "MOEN", "QUICKMOTIF"],
     )
+    _add_jobs_argument(bench)
     return parser
 
 
 def _cmd_motifs(args: argparse.Namespace) -> int:
     series = _load_series(args)
-    run = Valmod(series, args.l_min, args.l_max, p=args.p).run()
+    run = Valmod(
+        series, args.l_min, args.l_max, p=args.p, n_jobs=args.n_jobs
+    ).run()
     print(f"# processed {len(run.motif_pairs)} lengths; {run.stats.summary()}")
     rows = [
         (pair.length, pair.a, pair.b, f"{pair.distance:.4f}",
@@ -135,11 +182,36 @@ def _cmd_motifs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    series = _load_series(args)
+    mp = compute_with(args.engine, series, args.length, n_jobs=args.n_jobs)
+    finite = np.isfinite(mp.profile)
+    print(
+        f"# engine={args.engine} length={args.length} "
+        f"profiles={len(mp.profile)} finite={int(finite.sum())}"
+    )
+    order = np.argsort(mp.profile)[: max(args.top, 0)]
+    rows = [
+        (int(pos), int(mp.index[pos]), f"{mp.profile[pos]:.4f}")
+        for pos in order
+        if finite[pos]
+    ]
+    print(format_table(["position", "neighbor", "distance"], rows))
+    return 0
+
+
 def _cmd_discords(args: argparse.Namespace) -> int:
     from repro.core.discords import find_discords
 
     series = _load_series(args)
-    discords = find_discords(series, args.l_min, args.l_max, k=args.top)
+    discords = find_discords(
+        series,
+        args.l_min,
+        args.l_max,
+        k=args.top,
+        engine=args.engine,
+        n_jobs=args.n_jobs,
+    )
     rows = [
         (d.length, d.start, f"{d.distance:.4f}", f"{d.normalized_distance:.4f}")
         for d in discords
@@ -152,7 +224,7 @@ def _cmd_sets(args: argparse.Namespace) -> int:
     series = _load_series(args)
     sets = find_motif_sets(
         series, args.l_min, args.l_max, k=args.k,
-        radius_factor=args.radius_factor, p=args.p,
+        radius_factor=args.radius_factor, p=args.p, n_jobs=args.n_jobs,
     )
     print(f"# {len(sets)} motif sets")
     for motif_set in sets:
@@ -198,7 +270,11 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
     grid = default_grid()
+    if args.n_jobs != grid.n_jobs:
+        grid = dataclasses.replace(grid, n_jobs=args.n_jobs)
     sweeps = {
         "fig8": sweep_motif_length,
         "fig12": sweep_motif_range,
@@ -215,6 +291,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "motifs": _cmd_motifs,
+        "profile": _cmd_profile,
         "discords": _cmd_discords,
         "sets": _cmd_sets,
         "segment": _cmd_segment,

@@ -4,11 +4,20 @@ Runs the STOMP inner loop (shared with :mod:`repro.matrixprofile.stomp`)
 and, per distance profile, stores the p entries with the smallest
 lower-bound distance into the :class:`~repro.core.entries.EntryStore`.
 This is the O(n^2 log p) first phase of VALMOD.
+
+With ``n_jobs > 1`` the rows are split into blocks processed by worker
+processes.  Each worker replays the STOMP dot-product recurrence up to
+its block start (cheap — no distance profiles are materialized during the
+replay) and then runs the identical per-row pipeline, so the assembled
+profile, index, and listDP rows are bitwise identical to a serial run.
+The series travels through ``multiprocessing.shared_memory``; each block
+result comes back as plain arrays the parent stitches together.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -21,35 +30,145 @@ from repro.distance.sliding import (
 from repro.distance.znorm import CONSTANT_EPS
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
+from repro.matrixprofile.parallel import (
+    _attach,
+    _create_shared,
+    _preferred_context,
+    resolve_n_jobs,
+)
 from repro.matrixprofile.stomp import iterate_stomp_rows
 
-__all__ = ["compute_matrix_profile"]
+__all__ = ["compute_matrix_profile", "row_blocks"]
+
+#: relative cost of replaying one row of the dot-product recurrence,
+#: versus fully processing one row (distance profile + listDP insert).
+#: Measured on the vectorized kernels; only load balance depends on it.
+REPLAY_COST = 0.35
+
+
+def row_blocks(n_rows: int, n_blocks: int, replay_cost: float = REPLAY_COST) -> List[Tuple[int, int]]:
+    """Split ``[0, n_rows)`` into blocks with balanced replay-aware cost.
+
+    Block ``[s, e)`` costs ``replay_cost * s + (e - s)``: later blocks
+    replay more rows before producing output, so equal-size blocks would
+    leave early workers idle.  The recurrence ``s_{k+1} = (1 - r) s_k + C``
+    with the closed-form target ``C = n r / (1 - (1 - r)^K)`` equalizes
+    the cost; boundaries are rounded to integers and deduplicated.
+    """
+    if n_rows <= 0:
+        return []
+    n_blocks = max(1, min(n_blocks, n_rows))
+    if n_blocks == 1:
+        return [(0, n_rows)]
+    r = replay_cost
+    target = n_rows * r / (1.0 - (1.0 - r) ** n_blocks)
+    bounds = [0]
+    s = 0.0
+    for _ in range(n_blocks - 1):
+        s = (1.0 - r) * s + target
+        bounds.append(int(round(s)))
+    bounds.append(n_rows)
+    bounds = sorted(set(min(max(b, 0), n_rows) for b in bounds))
+    return [(bounds[k], bounds[k + 1]) for k in range(len(bounds) - 1)]
+
+
+def _fill_block(
+    t: np.ndarray,
+    length: int,
+    p: int,
+    start: int,
+    stop: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Profile, index, and listDP rows for the row block ``[start, stop)``.
+
+    The exact per-row pipeline of the serial loop, restricted to a block;
+    ``iterate_stomp_rows`` replays the recurrence up to ``start`` so every
+    produced row matches a full serial run bit for bit.
+    """
+    n_subs = t.size - length + 1
+    mu, sigma = moving_mean_std(t, length)
+    zone = exclusion_zone_half_width(length)
+    rows = stop - start
+    profile = np.empty(rows, dtype=np.float64)
+    index = np.empty(rows, dtype=np.int64)
+    store = EntryStore.empty(max(rows, 1), p, length)
+    positions = np.arange(n_subs)
+    for i, qt, row in iterate_stomp_rows(
+        t, length, mu, sigma, row_range=(start, stop)
+    ):
+        j = int(np.argmin(row))
+        k = i - start
+        profile[k] = row[j]
+        index[k] = j if np.isfinite(row[j]) else -1
+        corr = correlation_from_qt(
+            qt, length, float(mu[i]), max(float(sigma[i]), CONSTANT_EPS), mu, sigma
+        )
+        eligible = np.abs(positions - i) >= zone
+        store.fill_row(k, qt, corr, float(sigma[i]), length, eligible)
+    return profile, index, store.neighbor[:rows], store.qt[:rows], store.lb_base[:rows]
+
+
+def _block_worker(task):
+    """Worker-process entry: evaluate one row block from shared memory."""
+    name, n, length, p, start, stop, untrack = task
+    shm, t = _attach(name, (n,), "float64", untrack)
+    try:
+        return (start, stop) + _fill_block(t.copy(), length, p, start, stop)
+    finally:
+        shm.close()
 
 
 def compute_matrix_profile(
-    series: np.ndarray, length: int, p: int
+    series: np.ndarray, length: int, p: int, n_jobs: Optional[int] = 1
 ) -> Tuple[MatrixProfile, EntryStore]:
     """Matrix profile at ``length`` plus the listDP store (Algorithm 3).
 
     Returns the exact :class:`MatrixProfile` and an
     :class:`EntryStore` holding, for every subsequence, the p candidates
-    with the smallest lower bound for greater lengths.
+    with the smallest lower bound for greater lengths.  ``n_jobs``
+    distributes row blocks over worker processes (``None``/``0`` = all
+    CPUs); results are identical for every worker count.
     """
     t = np.asarray(series, dtype=np.float64)
     n_subs = validate_subsequence_length(t.size, length)
-    mu, sigma = moving_mean_std(t, length)
-    zone = exclusion_zone_half_width(length)
+    jobs = 1 if n_jobs == 1 else resolve_n_jobs(n_jobs)
+    blocks = row_blocks(n_subs, jobs)
+    store = EntryStore.empty(n_subs, p, length)
     profile = np.empty(n_subs, dtype=np.float64)
     index = np.empty(n_subs, dtype=np.int64)
-    store = EntryStore.empty(n_subs, p, length)
-    positions = np.arange(n_subs)
-    for i, qt, row in iterate_stomp_rows(t, length, mu, sigma):
-        j = int(np.argmin(row))
-        profile[i] = row[j]
-        index[i] = j if np.isfinite(row[j]) else -1
-        corr = correlation_from_qt(
-            qt, length, float(mu[i]), max(float(sigma[i]), CONSTANT_EPS), mu, sigma
-        )
-        eligible = np.abs(positions - i) >= zone
-        store.fill_row(i, qt, corr, float(sigma[i]), length, eligible)
+
+    if len(blocks) <= 1:
+        prof, idx, nb, qt, lb = _fill_block(t, length, p, 0, n_subs)
+        profile[:] = prof
+        index[:] = idx
+        store.neighbor[:] = nb
+        store.qt[:] = qt
+        store.lb_base[:] = lb
+        return MatrixProfile(profile=profile, index=index, length=length), store
+
+    shm, _ = _create_shared(t)
+    try:
+        ctx = _preferred_context()
+        untrack = ctx.get_start_method() != "fork"
+        tasks = [
+            (shm.name, t.size, length, p, start, stop, untrack)
+            for start, stop in blocks
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(blocks)), mp_context=ctx
+        ) as pool:
+            for start, stop, prof, idx, nb, qt, lb in pool.map(
+                _block_worker, tasks
+            ):
+                profile[start:stop] = prof
+                index[start:stop] = idx
+                store.neighbor[start:stop] = nb
+                store.qt[start:stop] = qt
+                store.lb_base[start:stop] = lb
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
     return MatrixProfile(profile=profile, index=index, length=length), store

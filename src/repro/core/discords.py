@@ -20,14 +20,14 @@ unknown, which is fine for minima but not maxima).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
-from repro.matrixprofile.stomp import stomp
+from repro.matrixprofile.registry import compute_with
 from repro.types import length_normalized
 
 __all__ = ["Discord", "find_discords"]
@@ -52,13 +52,17 @@ def find_discords(
     l_min: int,
     l_max: int,
     k: int = 3,
+    engine: str = "stomp",
+    n_jobs: Optional[int] = 1,
 ) -> List[Discord]:
     """Top-k variable-length discords, best (most anomalous) first.
 
     A discord's score is its length-normalized nearest-neighbor
     distance; discords of different lengths compete on that common
     scale, and returned discords are mutually non-overlapping (the
-    exclusion zone of the *longer* window applies).
+    exclusion zone of the *longer* window applies).  ``engine`` picks a
+    registered matrix-profile engine by name; ``n_jobs`` is forwarded to
+    engines that parallelize.
     """
     t = as_series(series, min_length=8)
     if l_min > l_max:
@@ -68,7 +72,7 @@ def find_discords(
 
     candidates: List[Discord] = []
     for length in range(l_min, l_max + 1):
-        mp = stomp(t, length)
+        mp = compute_with(engine, t, length, n_jobs=n_jobs)
         finite = np.isfinite(mp.profile)
         order = np.argsort(mp.profile)[::-1]
         # Keep a handful of per-length maxima; cross-length competition

@@ -65,6 +65,10 @@ def lower_bound_base(
     if length <= 0:
         raise InvalidParameterError(f"length must be positive, got {length}")
     q = np.clip(np.asarray(correlation, dtype=np.float64), -1.0, 1.0)
+    # A correlation within a few ulps of +/-1 is a perfect match whose
+    # computed q picked up rounding noise; snapping to the limit keeps the
+    # bound admissible (raising |q| only shrinks f(q), never inflates it).
+    q = np.where(np.abs(q) > 1.0 - 1e-12, np.sign(q), q)
     factor = np.where(q <= 0.0, 1.0, np.sqrt(np.maximum(1.0 - q * q, 0.0)))
     result = factor * math.sqrt(length) * sigma_owner
     if np.isscalar(correlation) or getattr(correlation, "ndim", 1) == 0:

@@ -137,16 +137,20 @@ def find_motif_sets(
     k: int = 10,
     radius_factor: float = 4.0,
     p: int = 50,
+    n_jobs: Optional[int] = 1,
 ) -> List[MotifSet]:
     """End-to-end Problem 2 solver: VALMOD + Algorithms 5-6.
 
     Runs VALMOD over ``[l_min, l_max]`` tracking the best ``k`` pairs,
     then extends each into a motif set with radius ``radius_factor``
     times the pair distance.  Returns the sets best-pair-first.
+    ``n_jobs`` is forwarded to VALMOD's matrix-profile passes.
     """
     from repro.core.valmod import Valmod
 
-    result = Valmod(series, l_min, l_max, p=p, track_top_k=k).run()
+    result = Valmod(
+        series, l_min, l_max, p=p, track_top_k=k, n_jobs=n_jobs
+    ).run()
     return compute_motif_sets(series, result.best_k_pairs(), radius_factor)
 
 

@@ -93,6 +93,11 @@ class Valmod:
         every length, i.e. degenerates to STOMP-per-length.
     keep_margins:
         Keep per-profile maxLB - minDist vectors for Figure 9 analysis.
+    n_jobs:
+        Worker processes for the full matrix-profile passes (the initial
+        length and every full recompute).  ``1`` (default) stays
+        in-process; ``None``/``0`` uses all CPUs.  Results are identical
+        for every value.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class Valmod:
         recompute_fraction: float = 0.5,
         lb_pruning: bool = True,
         keep_margins: bool = False,
+        n_jobs: Optional[int] = 1,
     ) -> None:
         self.series = as_series(series, min_length=8)
         if l_min > l_max:
@@ -122,6 +128,7 @@ class Valmod:
         self.recompute_fraction = float(recompute_fraction)
         self.lb_pruning = bool(lb_pruning)
         self.keep_margins = bool(keep_margins)
+        self.n_jobs = n_jobs
         self._store: Optional[EntryStore] = None
         self._stats_cache: Optional[tuple] = None  # (length, mu, sigma)
 
@@ -134,7 +141,7 @@ class Valmod:
         motif_pairs: Dict[int, MotifPair] = {}
 
         start = time.perf_counter()
-        mp, store = compute_matrix_profile(t, self.l_min, self.p)
+        mp, store = compute_matrix_profile(t, self.l_min, self.p, n_jobs=self.n_jobs)
         self._store = store
         improved = valmp.update(mp.profile, mp.index, self.l_min)
         valmp.record_pairs(improved, self.l_min, self._snapshot)
@@ -209,7 +216,7 @@ class Valmod:
         start: float,
     ) -> None:
         """Algorithm 1, line 13: rebuild the matrix profile and listDP."""
-        mp, store = compute_matrix_profile(self.series, length, self.p)
+        mp, store = compute_matrix_profile(self.series, length, self.p, n_jobs=self.n_jobs)
         self._store = store
         improved = valmp.update(mp.profile, mp.index, length)
         valmp.record_pairs(improved, length, self._snapshot)
@@ -281,6 +288,7 @@ def valmod(
     l_max: int,
     p: int = DEFAULT_P,
     track_top_k: int = 0,
+    n_jobs: Optional[int] = 1,
 ) -> ValmodResult:
     """Functional entry point: run VALMOD with default settings.
 
@@ -293,4 +301,6 @@ def valmod(
     >>> result = valmod(series, l_min=32, l_max=48)
     >>> pair = result.best_motif_pair()
     """
-    return Valmod(series, l_min, l_max, p=p, track_top_k=track_top_k).run()
+    return Valmod(
+        series, l_min, l_max, p=p, track_top_k=track_top_k, n_jobs=n_jobs
+    ).run()

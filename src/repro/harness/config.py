@@ -23,7 +23,7 @@ from typing import List
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["BenchmarkGrid", "default_grid", "env_scale"]
+__all__ = ["BenchmarkGrid", "default_grid", "env_scale", "env_jobs"]
 
 #: the paper's Table 2, verbatim, for reference and reporting.
 PAPER_GRID = {
@@ -58,6 +58,24 @@ class BenchmarkGrid:
     d_values: List[int] = field(default_factory=lambda: [2, 3, 4, 5, 6])
     default_k: int = 40
     default_d: int = 4
+    #: worker processes handed to algorithms that parallelize (1 = serial).
+    n_jobs: int = 1
+
+
+def env_jobs() -> int:
+    """The REPRO_BENCH_JOBS environment variable (default 1)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError as exc:
+        raise InvalidParameterError(
+            f"REPRO_BENCH_JOBS must be an integer, got {raw!r}"
+        ) from exc
+    if jobs < 0:
+        raise InvalidParameterError(
+            f"REPRO_BENCH_JOBS must be non-negative, got {jobs}"
+        )
+    return jobs
 
 
 def env_scale() -> float:
@@ -75,11 +93,16 @@ def env_scale() -> float:
 
 
 def default_grid(scale: float = None) -> BenchmarkGrid:
-    """The scaled Table-2 grid; ``scale`` multiplies lengths and sizes."""
+    """The scaled Table-2 grid; ``scale`` multiplies lengths and sizes.
+
+    ``REPRO_BENCH_JOBS`` sets the grid's worker count without touching
+    the shape of the grid itself.
+    """
     if scale is None:
         scale = env_scale()
+    jobs = env_jobs()
     if scale == 1.0:
-        return BenchmarkGrid()
+        return BenchmarkGrid(n_jobs=jobs)
     base = BenchmarkGrid()
 
     def stretch(values: List[int], lo: int) -> List[int]:
@@ -99,4 +122,5 @@ def default_grid(scale: float = None) -> BenchmarkGrid:
         d_values=list(base.d_values),
         default_k=base.default_k,
         default_d=base.default_d,
+        n_jobs=jobs,
     )

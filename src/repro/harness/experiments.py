@@ -84,6 +84,7 @@ def _sweep(
                     l_max,
                     p=grid.default_p,
                     timeout_seconds=grid.timeout_seconds,
+                    n_jobs=grid.n_jobs,
                 )
             result.rows.append(row)
     return result

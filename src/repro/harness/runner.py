@@ -39,21 +39,49 @@ class RunOutcome:
         return "DNF" if self.dnf else f"{self.seconds:.2f}s"
 
 
-def _run_valmod(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+def _run_valmod(
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    p: int,
+    deadline: float,
+    n_jobs: Optional[int] = 1,
+):
     # VALMOD has no internal deadline: it is the fast competitor and its
     # worst case is bounded by the STOMP fallback it already contains.
-    return Valmod(series, l_min, l_max, p=p).run().motif_pairs
+    return Valmod(series, l_min, l_max, p=p, n_jobs=n_jobs).run().motif_pairs
 
 
-def _run_stomp(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
-    return stomp_range(series, l_min, l_max, deadline=deadline)
+def _run_stomp(
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    p: int,
+    deadline: float,
+    n_jobs: Optional[int] = 1,
+):
+    return stomp_range(series, l_min, l_max, deadline=deadline, n_jobs=n_jobs)
 
 
-def _run_moen(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+def _run_moen(
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    p: int,
+    deadline: float,
+    n_jobs: Optional[int] = 1,
+):
     return moen(series, l_min, l_max, deadline=deadline)
 
 
-def _run_quick_motif(series: np.ndarray, l_min: int, l_max: int, p: int, deadline: float):
+def _run_quick_motif(
+    series: np.ndarray,
+    l_min: int,
+    l_max: int,
+    p: int,
+    deadline: float,
+    n_jobs: Optional[int] = 1,
+):
     return quick_motif(series, l_min, l_max, deadline=deadline)
 
 
@@ -72,12 +100,16 @@ def run_algorithm(
     l_max: int,
     p: int = 50,
     timeout_seconds: float = 120.0,
+    n_jobs: Optional[int] = 1,
 ) -> RunOutcome:
     """Run one competitor under a wall-clock budget.
 
     The budget is enforced cooperatively (the baselines check a deadline
     between units of work), so a DNF is reported slightly *after* the
     budget passes — the same semantics as killing a C process.
+    ``n_jobs`` reaches the competitors that parallelize (VALMOD's full
+    matrix-profile passes and STOMP-per-length); serial-only baselines
+    ignore it.
     """
     if name not in ALGORITHMS:
         raise InvalidParameterError(
@@ -86,7 +118,7 @@ def run_algorithm(
     start = time.perf_counter()
     deadline = start + timeout_seconds
     try:
-        pairs = ALGORITHMS[name](series, l_min, l_max, p, deadline)
+        pairs = ALGORITHMS[name](series, l_min, l_max, p, deadline, n_jobs=n_jobs)
     except BudgetExceededError:
         return RunOutcome(
             algorithm=name, seconds=time.perf_counter() - start, dnf=True

@@ -14,6 +14,13 @@ Engines
     which Algorithm 3 of the paper extends.
 :func:`repro.matrixprofile.stamp.stamp`
     MASS-based engine; supports anytime (random-order, early-stop) runs.
+:func:`repro.matrixprofile.parallel.parallel_stomp`
+    Diagonal-chunked STOMP across worker processes; bitwise identical to
+    the serial engine for every worker count.
+
+The :mod:`repro.matrixprofile.registry` module maps engine names
+(``"stomp" | "stamp" | "scrimp" | "brute" | "parallel-stomp"``) to
+implementations so callers can dispatch by string.
 """
 
 from repro.matrixprofile.exclusion import exclusion_zone_half_width, is_trivial_match
@@ -22,6 +29,14 @@ from repro.matrixprofile.brute import brute_force_matrix_profile
 from repro.matrixprofile.stomp import stomp
 from repro.matrixprofile.stamp import stamp
 from repro.matrixprofile.scrimp import pre_scrimp, scrimp
+from repro.matrixprofile.parallel import parallel_stomp
+from repro.matrixprofile.registry import (
+    EngineSpec,
+    compute_with,
+    engine_names,
+    get_engine,
+    register_engine,
+)
 from repro.matrixprofile.streaming import StreamingMatrixProfile
 from repro.matrixprofile.leftright import LeftRightProfiles, stomp_left_right
 from repro.matrixprofile.join import ab_join_motif, stomp_ab_join
@@ -36,6 +51,12 @@ __all__ = [
     "stamp",
     "scrimp",
     "pre_scrimp",
+    "parallel_stomp",
+    "EngineSpec",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "compute_with",
     "StreamingMatrixProfile",
     "LeftRightProfiles",
     "stomp_left_right",

@@ -1,0 +1,500 @@
+"""Parallel tiled STOMP: diagonal chunks across worker processes.
+
+The distance matrix of a series is symmetric, so the full matrix profile
+is the min-reduction of the *upper-triangle* diagonals ``d >= zone`` (the
+exclusion zone removes the band ``|i - j| < zone`` entirely).  This module
+splits those diagonals into contiguous chunks, evaluates every chunk with
+a vectorized kernel (rows sequential, diagonals vectorized — the SCRIMP
+orientation driven by the STOMP recurrence), and merges the per-chunk
+min-profiles with an exclusion-zone-correct, tie-break-stable reduction.
+
+Chunks are independent, so they parallelize across processes.  The series
+and window statistics travel through ``multiprocessing.shared_memory``
+buffers — workers map them zero-copy — and each worker writes its chunk's
+min-profile into a shared output slab that the parent merges in
+deterministic chunk order.
+
+Bitwise parity with serial STOMP
+--------------------------------
+The kernel is constructed so that ``parallel_stomp`` returns profiles and
+indices *bitwise identical* to :func:`repro.matrixprofile.stomp.stomp`,
+for any chunking and any worker count:
+
+* Along a diagonal ``d``, the serial rolling update visits the same
+  products in the same order as the per-row update does, because IEEE-754
+  multiplication is commutative and the expression groups identically:
+  ``(qt - t[i-1] t[j-1]) + t[i+l-1] t[j+l-1]``.  Each chain starts at the
+  same FFT value ``qt_first[d]`` the serial row 0 produced.
+* Serial STOMP computes every pair twice — row ``i`` sees column ``j``
+  with ``i``'s statistics as the query, row ``j`` sees column ``i`` with
+  ``j``'s — and the two floating-point results differ in ulps.  The
+  kernel therefore evaluates *both* perspectives of every pair, mirroring
+  :func:`repro.distance.profile.distance_profile_from_qt` operation by
+  operation.
+* When :func:`repro.matrixprofile.stomp.stomp_reanchor_rows` schedules
+  exact recomputes, the restart pattern differs between the two
+  perspectives (row ``i``'s chain restarts when a chain row is an anchor;
+  row ``j``'s when *chain row + d* is), so the kernel carries two QT
+  chains per chunk.  On data without extreme magnitudes the schedule is
+  empty and the chains are identical.
+* Serial ``argmin`` breaks ties toward the smallest column.  The merge
+  reduces with ``(value, neighbor index)`` lexicographic order, which
+  reproduces serial indices exactly, not just serial values.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distance.sliding import (
+    moving_mean_std,
+    sliding_dot_product,
+    validate_subsequence_length,
+)
+from repro.distance.znorm import CONSTANT_EPS, as_series
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.index import MatrixProfile
+from repro.matrixprofile.stomp import exact_qt_row, stomp_reanchor_rows
+
+__all__ = [
+    "parallel_stomp",
+    "resolve_n_jobs",
+    "split_diagonals",
+    "diagonal_chunk_min_profile",
+    "merge_profiles",
+]
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` request to a positive worker count.
+
+    ``None`` and ``0`` mean "let the library decide" (all visible CPUs);
+    negative values follow the joblib convention ``cpus + 1 + n_jobs``
+    (so ``-1`` is all CPUs, ``-2`` all but one).
+    """
+    cpus = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cpus
+    if n_jobs < 0:
+        return max(1, cpus + 1 + n_jobs)
+    return int(n_jobs)
+
+
+def split_diagonals(
+    n_subs: int, zone: int, n_chunks: int
+) -> List[Tuple[int, int]]:
+    """Partition diagonals ``[zone, n_subs)`` into area-balanced ranges.
+
+    Diagonal ``d`` holds ``n_subs - d`` pairs, so near diagonals are much
+    heavier than far ones; balancing by pair count (not diagonal count)
+    keeps workers evenly loaded.  Returns ``[(d_lo, d_hi), ...]`` covering
+    the range exactly once; fewer than ``n_chunks`` ranges come back when
+    there are not enough diagonals to split.
+    """
+    if n_chunks <= 0:
+        raise InvalidParameterError(f"n_chunks must be positive, got {n_chunks}")
+    diagonals = np.arange(zone, n_subs)
+    if diagonals.size == 0:
+        return []
+    n_chunks = min(n_chunks, diagonals.size)
+    areas = (n_subs - diagonals).astype(np.float64)
+    cum = np.cumsum(areas)
+    targets = cum[-1] * (np.arange(1, n_chunks) / n_chunks)
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.concatenate([[0], cuts, [diagonals.size]])
+    bounds = np.unique(bounds)
+    return [
+        (int(zone + bounds[k]), int(zone + bounds[k + 1]))
+        for k in range(bounds.size - 1)
+    ]
+
+
+def _both_side_distances(
+    qt_i: np.ndarray,
+    qt_j: np.ndarray,
+    length: int,
+    mu_i: float,
+    sigma_i: float,
+    mu_j: np.ndarray,
+    sigma_j: np.ndarray,
+    sqrt_l: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. 3 for one row of a chunk, from both pair perspectives.
+
+    Mirrors ``distance_profile_from_qt`` operation by operation so each
+    result is bitwise identical to the corresponding serial row entry:
+    ``d_ik`` is the distance as seen from row ``i`` (scalar query ``i``,
+    vector windows ``j``), ``d_jk`` as seen from the rows ``j`` (vector
+    queries ``j``, scalar window ``i``).
+    """
+    i_const = sigma_i < CONSTANT_EPS
+    j_const = sigma_j < CONSTANT_EPS
+
+    # Row-i perspective: query statistics are scalars.
+    sq_i = max(sigma_i, CONSTANT_EPS)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = (qt_i - length * mu_i * mu_j) / (length * sq_i * sigma_j)
+    corr[~np.isfinite(corr)] = 0.0
+    np.clip(corr, -1.0, 1.0, out=corr)
+    dist_sq = 2.0 * length * (1.0 - corr)
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    d_ik = np.sqrt(dist_sq)
+    if i_const:
+        d_ik = np.where(j_const, 0.0, sqrt_l)
+    else:
+        d_ik[j_const] = sqrt_l
+
+    # Row-j perspective: query statistics are the vectors.
+    sq_j = np.maximum(sigma_j, CONSTANT_EPS)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = (qt_j - length * mu_j * mu_i) / (length * sq_j * sigma_i)
+    corr[~np.isfinite(corr)] = 0.0
+    np.clip(corr, -1.0, 1.0, out=corr)
+    dist_sq = 2.0 * length * (1.0 - corr)
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    d_jk = np.sqrt(dist_sq)
+    if i_const:
+        d_jk[j_const] = 0.0
+        d_jk[~j_const] = sqrt_l
+    else:
+        d_jk[j_const] = sqrt_l
+
+    return d_ik, d_jk
+
+
+def diagonal_chunk_min_profile(
+    t: np.ndarray,
+    length: int,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    qt_first: np.ndarray,
+    anchors: np.ndarray,
+    d_lo: int,
+    d_hi: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Min-profile contribution of diagonals ``[d_lo, d_hi)``.
+
+    Returns ``(profile, index)`` of full length ``n_subs``: positions the
+    chunk never touches stay at ``(inf, -1)``.  Every touched entry holds
+    the bitwise-exact serial value of the best pair within the chunk, with
+    serial tie-breaking (smallest neighbor index wins).
+    """
+    n_subs = t.size - length + 1
+    if not 0 < d_lo <= d_hi <= n_subs:
+        raise InvalidParameterError(
+            f"diagonal range [{d_lo}, {d_hi}) out of bounds for {n_subs} rows"
+        )
+    profile = np.full(n_subs, np.inf, dtype=np.float64)
+    index = np.full(n_subs, -1, dtype=np.int64)
+    if d_lo == d_hi:
+        return profile, index
+    sqrt_l = float(np.sqrt(length))
+    # Two QT chains per chunk (see module docstring): qv_i feeds the
+    # row-i-perspective distances, qv_j the row-j-perspective ones.  They
+    # coincide bit for bit whenever the re-anchor schedule is empty.
+    width = min(d_hi, n_subs) - d_lo
+    qv_i = qt_first[d_lo : d_lo + width].copy()
+    qv_j = qv_i.copy()
+    anchor_rows = set(int(a) for a in anchors)
+    exact_rows: dict = {}
+
+    def exact_row(a: int) -> np.ndarray:
+        row = exact_rows.get(a)
+        if row is None:
+            row = exact_qt_row(t, a, length)
+            exact_rows[a] = row
+        return row
+
+    n_rows = n_subs - d_lo
+    for i in range(n_rows):
+        m = min(d_hi, n_subs - i) - d_lo
+        if i > 0:
+            qv_i = qv_i[:m]
+            qv_j = qv_j[:m]
+            heads = t[i - 1 + d_lo : i - 1 + d_lo + m]
+            tails = t[i + length - 1 + d_lo : i + length - 1 + d_lo + m]
+            if i in anchor_rows:
+                # Serial row i was recomputed exactly; both entries
+                # (i, i+d) of the i-chain restart from that row.
+                qv_i = exact_row(i)[i + d_lo : i + d_lo + m]
+            else:
+                qv_i = qv_i - heads * t[i - 1] + tails * t[i + length - 1]
+            qv_j = qv_j - heads * t[i - 1] + tails * t[i + length - 1]
+            if anchors.size:
+                # Serial row a = i + d was recomputed exactly; the
+                # j-chain of diagonal d restarts from its column i.
+                lo = int(np.searchsorted(anchors, i + d_lo, side="left"))
+                hi = int(np.searchsorted(anchors, i + d_lo + m, side="left"))
+                for a in anchors[lo:hi]:
+                    a = int(a)
+                    qv_j[a - i - d_lo] = exact_row(a)[i]
+        cols = slice(i + d_lo, i + d_lo + m)
+        d_ik, d_jk = _both_side_distances(
+            qv_i,
+            qv_j,
+            length,
+            float(mu[i]),
+            float(sigma[i]),
+            mu[cols],
+            sigma[cols],
+            sqrt_l,
+        )
+        # Row-i side: one candidate — the chunk-local argmin, which is
+        # the smallest column among ties, exactly like serial argmin.
+        jloc = int(np.argmin(d_ik))
+        v = d_ik[jloc]
+        j_abs = i + d_lo + jloc
+        if v < profile[i] or (v == profile[i] and j_abs < index[i]):
+            profile[i] = v
+            index[i] = j_abs
+        # Row-j side: vectorized update of all columns this row touches.
+        # Strict ``<`` plus the smaller-neighbor tie rule keeps the first
+        # minimum, matching serial argmin over the full row.
+        ps = profile[cols]
+        isl = index[cols]
+        better = (d_jk < ps) | ((d_jk == ps) & (isl >= 0) & (i < isl))
+        ps[better] = d_jk[better]
+        isl[better] = i
+    return profile, index
+
+
+def merge_profiles(
+    profiles: Sequence[np.ndarray], indices: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce per-chunk min-profiles into one profile.
+
+    Lexicographic ``(value, neighbor index)`` minimum per position: ties
+    between chunks resolve toward the smallest neighbor index, which is
+    what serial STOMP's first-occurrence ``argmin`` produces.  ``-1``
+    indices mark untouched positions and never win a tie.
+    """
+    if not profiles or len(profiles) != len(indices):
+        raise InvalidParameterError("profiles and indices must pair up, non-empty")
+    profile = profiles[0].copy()
+    index = indices[0].copy()
+    for prof, idx in zip(profiles[1:], indices[1:]):
+        better = (prof < profile) | (
+            (prof == profile) & (idx >= 0) & ((index < 0) | (idx < index))
+        )
+        profile[better] = prof[better]
+        index[better] = idx[better]
+    return profile, index
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory plumbing
+# ---------------------------------------------------------------------------
+
+
+def _create_shared(arr: np.ndarray) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Copy ``arr`` into a fresh shared-memory block; returns (shm, view)."""
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return shm, view
+
+
+def _attach(name: str, shape: Tuple[int, ...], dtype: str, untrack: bool):
+    """Attach to an existing block, optionally without tracking it.
+
+    Under a *spawn* start method every worker runs its own resource
+    tracker, which would unlink the block when the first worker exits —
+    yanking it out from under its siblings and the parent (who owns the
+    lifetime and unlinks in its ``finally``).  Those workers must
+    unregister after attaching.  Under *fork* the tracker is shared with
+    the parent, and unregistering here would instead drop the parent's
+    own registration — so they must not.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if untrack:
+        try:  # pragma: no cover - depends on multiprocessing internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _chunk_worker(task) -> int:
+    """Evaluate one diagonal chunk against shared-memory inputs.
+
+    Runs in a worker process.  Writes the chunk's min-profile into slot
+    ``slot`` of the shared output slabs and returns the slot id.
+    """
+    (
+        slot,
+        d_lo,
+        d_hi,
+        length,
+        names,
+        n,
+        n_subs,
+        n_anchors,
+        n_slots,
+        untrack,
+    ) = task
+    blocks = []
+    try:
+        shm_t, t = _attach(names["t"], (n,), "float64", untrack)
+        blocks.append(shm_t)
+        shm_mu, mu = _attach(names["mu"], (n_subs,), "float64", untrack)
+        blocks.append(shm_mu)
+        shm_sig, sigma = _attach(names["sigma"], (n_subs,), "float64", untrack)
+        blocks.append(shm_sig)
+        shm_qt, qt_first = _attach(names["qt_first"], (n_subs,), "float64", untrack)
+        blocks.append(shm_qt)
+        shm_anc, anchors = _attach(names["anchors"], (n_anchors,), "int64", untrack)
+        blocks.append(shm_anc)
+        shm_p, out_profile = _attach(
+            names["profile"], (n_slots, n_subs), "float64", untrack
+        )
+        blocks.append(shm_p)
+        shm_i, out_index = _attach(
+            names["index"], (n_slots, n_subs), "int64", untrack
+        )
+        blocks.append(shm_i)
+        prof, idx = diagonal_chunk_min_profile(
+            t, length, mu, sigma, qt_first, anchors, d_lo, d_hi
+        )
+        out_profile[slot] = prof
+        out_index[slot] = idx
+        return slot
+    finally:
+        for shm in blocks:
+            shm.close()
+
+
+def _preferred_context():
+    """Fork where available (zero-copy page sharing), else the default."""
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context()
+
+
+def parallel_stomp(
+    series: np.ndarray,
+    length: int,
+    n_jobs: Optional[int] = None,
+    n_chunks: Optional[int] = None,
+) -> MatrixProfile:
+    """Matrix profile via diagonal chunks across worker processes.
+
+    Bitwise identical to :func:`repro.matrixprofile.stomp.stomp` — values
+    *and* indices — for every ``n_jobs`` / ``n_chunks`` combination.
+
+    Parameters
+    ----------
+    series, length:
+        The data series and subsequence length.
+    n_jobs:
+        Worker processes.  ``None``/``0`` uses all visible CPUs, negative
+        follows the joblib convention, ``1`` runs in-process without
+        spawning anything.
+    n_chunks:
+        Number of diagonal chunks (defaults to the worker count).  More
+        chunks than workers simply queue; results never depend on it.
+    """
+    t = as_series(series, min_length=4)
+    n_subs = validate_subsequence_length(t.size, length)
+    jobs = resolve_n_jobs(n_jobs)
+    if n_chunks is None:
+        n_chunks = jobs
+    zone = exclusion_zone_half_width(length)
+    mu, sigma = moving_mean_std(t, length)
+    qt_first = sliding_dot_product(t[:length], t)
+    anchors = stomp_reanchor_rows(t, length, sigma)
+    ranges = split_diagonals(n_subs, zone, n_chunks)
+    if not ranges:
+        return MatrixProfile(
+            profile=np.full(n_subs, np.inf, dtype=np.float64),
+            index=np.full(n_subs, -1, dtype=np.int64),
+            length=length,
+        )
+
+    if jobs == 1 or len(ranges) == 1:
+        parts = [
+            diagonal_chunk_min_profile(
+                t, length, mu, sigma, qt_first, anchors, d_lo, d_hi
+            )
+            for d_lo, d_hi in ranges
+        ]
+        profile, index = merge_profiles([p for p, _ in parts], [i for _, i in parts])
+        return MatrixProfile(profile=profile, index=index, length=length)
+
+    n_slots = len(ranges)
+    shms: List[shared_memory.SharedMemory] = []
+    try:
+        shm_t, _ = _create_shared(t)
+        shms.append(shm_t)
+        shm_mu, _ = _create_shared(mu)
+        shms.append(shm_mu)
+        shm_sig, _ = _create_shared(sigma)
+        shms.append(shm_sig)
+        shm_qt, _ = _create_shared(qt_first)
+        shms.append(shm_qt)
+        shm_anc, _ = _create_shared(anchors)
+        shms.append(shm_anc)
+        out_p = shared_memory.SharedMemory(
+            create=True, size=n_slots * n_subs * 8
+        )
+        shms.append(out_p)
+        out_i = shared_memory.SharedMemory(
+            create=True, size=n_slots * n_subs * 8
+        )
+        shms.append(out_i)
+        names = {
+            "t": shm_t.name,
+            "mu": shm_mu.name,
+            "sigma": shm_sig.name,
+            "qt_first": shm_qt.name,
+            "anchors": shm_anc.name,
+            "profile": out_p.name,
+            "index": out_i.name,
+        }
+        ctx = _preferred_context()
+        untrack = ctx.get_start_method() != "fork"
+        tasks = [
+            (
+                slot,
+                d_lo,
+                d_hi,
+                length,
+                names,
+                t.size,
+                n_subs,
+                anchors.size,
+                n_slots,
+                untrack,
+            )
+            for slot, (d_lo, d_hi) in enumerate(ranges)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, n_slots), mp_context=ctx
+        ) as pool:
+            done = list(pool.map(_chunk_worker, tasks))
+        if sorted(done) != list(range(n_slots)):  # pragma: no cover
+            raise RuntimeError("parallel chunk workers did not all complete")
+        slab_p = np.ndarray((n_slots, n_subs), dtype=np.float64, buffer=out_p.buf)
+        slab_i = np.ndarray((n_slots, n_subs), dtype=np.int64, buffer=out_i.buf)
+        # Merge in deterministic chunk order, copying out of shared memory
+        # before the blocks are torn down.
+        profile, index = merge_profiles(
+            [slab_p[k].copy() for k in range(n_slots)],
+            [slab_i[k].copy() for k in range(n_slots)],
+        )
+    finally:
+        for shm in shms:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+    return MatrixProfile(profile=profile, index=index, length=length)

@@ -1,0 +1,130 @@
+"""Engine registry: one place that maps engine names to implementations.
+
+Every consumer that lets a caller pick a matrix-profile engine — the CLI,
+the harness runner, the discord scanner — goes through this registry, so
+adding an engine is one :func:`register_engine` call and every entry
+point picks it up.
+
+Engines differ in how they use ``n_jobs``: serial engines ignore it (and
+the registry does not pretend otherwise), parallel engines fan out.  The
+``parallel`` flag on the spec records which is which so callers can warn
+or route accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.brute import brute_force_matrix_profile
+from repro.matrixprofile.index import MatrixProfile
+from repro.matrixprofile.parallel import parallel_stomp
+from repro.matrixprofile.scrimp import scrimp
+from repro.matrixprofile.stamp import stamp
+from repro.matrixprofile.stomp import stomp
+
+__all__ = [
+    "EngineSpec",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "compute_with",
+    "DEFAULT_ENGINE",
+]
+
+DEFAULT_ENGINE = "stomp"
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A registered matrix-profile engine.
+
+    ``compute`` takes ``(series, length, n_jobs)`` and returns a
+    :class:`MatrixProfile`; serial engines receive ``n_jobs`` and ignore
+    it.  ``parallel`` marks engines that actually honor ``n_jobs``.
+    """
+
+    name: str
+    compute: Callable[[np.ndarray, int, Optional[int]], MatrixProfile]
+    parallel: bool
+    description: str
+
+
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(
+    name: str,
+    compute: Callable[[np.ndarray, int, Optional[int]], MatrixProfile],
+    parallel: bool = False,
+    description: str = "",
+) -> EngineSpec:
+    """Register (or replace) an engine under ``name``."""
+    if not name:
+        raise InvalidParameterError("engine name must be non-empty")
+    spec = EngineSpec(
+        name=name, compute=compute, parallel=parallel, description=description
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up an engine; raises with the valid choices on a miss."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        choices = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown engine {name!r}; choose one of: {choices}"
+        )
+    return spec
+
+
+def compute_with(
+    name: str,
+    series: np.ndarray,
+    length: int,
+    n_jobs: Optional[int] = None,
+) -> MatrixProfile:
+    """Compute a matrix profile with the engine registered under ``name``."""
+    return get_engine(name).compute(series, length, n_jobs)
+
+
+register_engine(
+    "stomp",
+    lambda series, length, n_jobs=None: stomp(series, length),
+    parallel=False,
+    description="serial O(n^2) rolling-dot-product engine (default)",
+)
+register_engine(
+    "stamp",
+    lambda series, length, n_jobs=None: stamp(series, length),
+    parallel=False,
+    description="MASS-per-row anytime engine",
+)
+register_engine(
+    "scrimp",
+    lambda series, length, n_jobs=None: scrimp(series, length),
+    parallel=False,
+    description="diagonal-order anytime engine",
+)
+register_engine(
+    "brute",
+    lambda series, length, n_jobs=None: brute_force_matrix_profile(series, length),
+    parallel=False,
+    description="O(n^2 l) reference oracle",
+)
+register_engine(
+    "parallel-stomp",
+    lambda series, length, n_jobs=None: parallel_stomp(series, length, n_jobs=n_jobs),
+    parallel=True,
+    description="diagonal-chunked STOMP across worker processes",
+)

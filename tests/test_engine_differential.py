@@ -1,0 +1,130 @@
+"""Differential harness: every registered engine against the brute oracle.
+
+One parameterized sweep proves all engines agree on the same fixtures:
+profile values within 1e-8 of ``brute``, and neighbor indices that agree
+up to tie-breaking (the reported neighbor must realize the reported
+distance).  The parallel engine additionally runs at several worker
+counts, where it must be *bitwise* identical to serial STOMP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.brute import brute_force_matrix_profile
+from repro.matrixprofile.parallel import parallel_stomp
+from repro.matrixprofile.registry import (
+    compute_with,
+    engine_names,
+    get_engine,
+)
+from repro.matrixprofile.stomp import stomp
+
+ATOL = 1e-8
+
+
+def _random_walk():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(500).cumsum(), 32
+
+
+def _planted_motif():
+    rng = np.random.default_rng(7)
+    series = rng.standard_normal(500) * 0.3
+    pattern = np.sin(np.linspace(0.0, 4.0 * np.pi, 40))
+    series[70:110] += pattern * 3.0
+    series[300:340] += pattern * 3.0
+    return series, 24
+
+
+def _constant_segment():
+    rng = np.random.default_rng(13)
+    series = rng.standard_normal(400).cumsum()
+    series[150:210] = series[150]
+    return series, 20
+
+
+def _short_series():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal(20), 10
+
+
+FIXTURES = {
+    "random-walk": _random_walk,
+    "planted-motif": _planted_motif,
+    "constant-segment": _constant_segment,
+    "short": _short_series,
+}
+
+
+@pytest.fixture(scope="module")
+def oracles():
+    """Brute-force profiles of every fixture, computed once."""
+    cache = {}
+    for name, make in FIXTURES.items():
+        series, length = make()
+        cache[name] = (series, length, brute_force_matrix_profile(series, length))
+    return cache
+
+
+def _check_indices_realize_distances(series, length, mp, reference, atol):
+    """Indices may differ from brute only where distances tie.
+
+    The engine's reported neighbor must reproduce the engine's reported
+    distance (and hence the oracle's, already checked) when the pair is
+    re-measured from scratch.
+    """
+    for i, j in enumerate(mp.index):
+        if j < 0:
+            assert not np.isfinite(mp.profile[i])
+            continue
+        d = znormalized_distance(
+            series[i : i + length], series[j : j + length]
+        )
+        assert d == pytest.approx(float(reference.profile[i]), abs=atol), (
+            f"index {j} of position {i} does not realize the oracle distance"
+        )
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("engine", sorted(engine_names()))
+def test_engine_matches_brute(engine, fixture, oracles):
+    series, length, reference = oracles[fixture]
+    mp = compute_with(engine, series, length, n_jobs=1)
+    finite = np.isfinite(reference.profile)
+    assert np.array_equal(np.isfinite(mp.profile), finite)
+    np.testing.assert_allclose(
+        mp.profile[finite],
+        reference.profile[finite],
+        atol=ATOL,
+        rtol=0.0,
+        err_msg=f"{engine} diverges from brute on {fixture}",
+    )
+    _check_indices_realize_distances(series, length, mp, reference, 1e-6)
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_parallel_engine_bitwise_vs_serial(n_jobs, fixture, oracles):
+    series, length, _ = oracles[fixture]
+    serial = stomp(series, length)
+    mp = parallel_stomp(series, length, n_jobs=n_jobs)
+    np.testing.assert_array_equal(
+        mp.profile, serial.profile,
+        err_msg=f"parallel-stomp n_jobs={n_jobs} not bitwise on {fixture}",
+    )
+    np.testing.assert_array_equal(mp.index, serial.index)
+
+
+def test_registry_lists_all_engines():
+    names = engine_names()
+    for expected in ("stomp", "stamp", "scrimp", "brute", "parallel-stomp"):
+        assert expected in names
+    assert get_engine("parallel-stomp").parallel
+    assert not get_engine("stomp").parallel
+
+
+def test_registry_rejects_unknown_engine():
+    with pytest.raises(InvalidParameterError, match="parallel-stomp"):
+        get_engine("no-such-engine")

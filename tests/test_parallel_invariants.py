@@ -1,0 +1,187 @@
+"""Chunk-boundary invariants of the parallel tiled engine.
+
+Property tests for the guarantees :mod:`repro.matrixprofile.parallel`
+documents: any partition of the diagonals merges to the unchunked
+profile bit for bit, the exclusion zone holds across chunk seams, merges
+are order-independent, and repeated runs are deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.sliding import moving_mean_std, sliding_dot_product
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.parallel import (
+    diagonal_chunk_min_profile,
+    merge_profiles,
+    parallel_stomp,
+    resolve_n_jobs,
+    split_diagonals,
+)
+from repro.matrixprofile.stomp import stomp, stomp_reanchor_rows
+
+
+def _series(seed: int, n: int = 300) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(n).cumsum()
+
+
+def _chunk_inputs(t: np.ndarray, length: int):
+    mu, sigma = moving_mean_std(t, length)
+    qt_first = sliding_dot_product(t[:length], t)
+    anchors = stomp_reanchor_rows(t, length, sigma)
+    return mu, sigma, qt_first, anchors
+
+
+def _profile_from_cuts(t, length, cuts):
+    """Merge the chunks induced by an arbitrary sorted cut list."""
+    n_subs = t.size - length + 1
+    zone = exclusion_zone_half_width(length)
+    bounds = [zone] + cuts + [n_subs]
+    mu, sigma, qt_first, anchors = _chunk_inputs(t, length)
+    parts = [
+        diagonal_chunk_min_profile(
+            t, length, mu, sigma, qt_first, anchors, lo, hi
+        )
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+    return merge_profiles([p for p, _ in parts], [i for _, i in parts])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_random_chunk_splits_merge_to_serial(data):
+    """Any random partition of the diagonals reproduces serial STOMP."""
+    seed = data.draw(st.integers(0, 1000), label="seed")
+    length = data.draw(st.sampled_from([8, 16, 24]), label="length")
+    t = _series(seed)
+    n_subs = t.size - length + 1
+    zone = exclusion_zone_half_width(length)
+    n_cuts = data.draw(st.integers(0, 6), label="n_cuts")
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(zone + 1, n_subs - 1),
+                min_size=n_cuts,
+                max_size=n_cuts,
+                unique=True,
+            ),
+            label="cuts",
+        )
+    )
+    serial = stomp(t, length)
+    profile, index = _profile_from_cuts(t, length, cuts)
+    np.testing.assert_array_equal(profile, serial.profile)
+    np.testing.assert_array_equal(index, serial.index)
+
+
+@pytest.mark.parametrize("n_chunks", [1, 2, 3, 5, 11])
+def test_area_balanced_splits_merge_to_serial(n_chunks):
+    t = _series(99, 400)
+    length = 20
+    serial = stomp(t, length)
+    mp = parallel_stomp(t, length, n_jobs=1, n_chunks=n_chunks)
+    np.testing.assert_array_equal(mp.profile, serial.profile)
+    np.testing.assert_array_equal(mp.index, serial.index)
+
+
+def test_split_diagonals_partitions_exactly():
+    ranges = split_diagonals(100, 7, 4)
+    assert ranges[0][0] == 7
+    assert ranges[-1][1] == 100
+    for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        assert hi1 == lo2
+        assert lo1 < hi1
+    # More chunks than diagonals degrades gracefully.
+    tiny = split_diagonals(10, 8, 50)
+    assert tiny == [(8, 9), (9, 10)]
+    assert split_diagonals(8, 8, 3) == []
+    with pytest.raises(InvalidParameterError):
+        split_diagonals(100, 7, 0)
+
+
+def test_exclusion_zone_respected_across_seams():
+    """No merged neighbor may fall inside the exclusion zone, for any
+    chunking — including cuts right next to the zone boundary."""
+    t = _series(17, 350)
+    length = 16
+    zone = exclusion_zone_half_width(length)
+    n_subs = t.size - length + 1
+    for cuts in ([], [zone + 1], [zone + 1, zone + 2], [n_subs - 1]):
+        profile, index = _profile_from_cuts(t, length, list(cuts))
+        positions = np.arange(n_subs)
+        valid = index >= 0
+        assert valid.all()
+        assert (np.abs(index[valid] - positions[valid]) >= zone).all()
+
+
+def test_merge_is_order_independent():
+    t = _series(23)
+    length = 16
+    mu, sigma, qt_first, anchors = _chunk_inputs(t, length)
+    zone = exclusion_zone_half_width(length)
+    n_subs = t.size - length + 1
+    ranges = split_diagonals(n_subs, zone, 4)
+    parts = [
+        diagonal_chunk_min_profile(t, length, mu, sigma, qt_first, anchors, lo, hi)
+        for lo, hi in ranges
+    ]
+    forward = merge_profiles([p for p, _ in parts], [i for _, i in parts])
+    backward = merge_profiles(
+        [p for p, _ in reversed(parts)], [i for _, i in reversed(parts)]
+    )
+    np.testing.assert_array_equal(forward[0], backward[0])
+    np.testing.assert_array_equal(forward[1], backward[1])
+
+
+def test_merge_rejects_mismatched_inputs():
+    with pytest.raises(InvalidParameterError):
+        merge_profiles([], [])
+    with pytest.raises(InvalidParameterError):
+        merge_profiles([np.zeros(3)], [])
+
+
+def test_deterministic_across_repeated_runs():
+    """Same seed, same series -> identical profiles on every run,
+    including multi-process runs where chunk completion order varies."""
+    t = _series(31, 320)
+    length = 16
+    first = parallel_stomp(t, length, n_jobs=2)
+    for _ in range(2):
+        again = parallel_stomp(t, length, n_jobs=2)
+        np.testing.assert_array_equal(first.profile, again.profile)
+        np.testing.assert_array_equal(first.index, again.index)
+
+
+def test_resolve_n_jobs_conventions():
+    import os
+
+    cpus = os.cpu_count() or 1
+    assert resolve_n_jobs(None) == cpus
+    assert resolve_n_jobs(0) == cpus
+    assert resolve_n_jobs(1) == 1
+    assert resolve_n_jobs(3) == 3
+    assert resolve_n_jobs(-1) == cpus
+    assert resolve_n_jobs(-cpus - 5) == 1
+
+
+def test_compute_mp_row_blocks_bitwise():
+    """Algorithm 3's row-block parallel path matches serial exactly,
+    profile and listDP store alike."""
+    from repro.core.compute_mp import compute_matrix_profile, row_blocks
+
+    t = _series(41, 280)
+    mp1, st1 = compute_matrix_profile(t, 16, 8, n_jobs=1)
+    mp2, st2 = compute_matrix_profile(t, 16, 8, n_jobs=2)
+    np.testing.assert_array_equal(mp1.profile, mp2.profile)
+    np.testing.assert_array_equal(mp1.index, mp2.index)
+    np.testing.assert_array_equal(st1.neighbor, st2.neighbor)
+    np.testing.assert_array_equal(st1.qt, st2.qt)
+    np.testing.assert_array_equal(st1.lb_base, st2.lb_base)
+    # Block boundaries tile the row range exactly.
+    blocks = row_blocks(100, 4)
+    assert blocks[0][0] == 0 and blocks[-1][1] == 100
+    for (s1, e1), (s2, e2) in zip(blocks, blocks[1:]):
+        assert e1 == s2 and s1 < e1
