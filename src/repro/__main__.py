@@ -1,8 +1,12 @@
 """``python -m repro`` entry point."""
 
+from __future__ import annotations
+
 import sys
 
 from repro.cli import main
+
+__all__ = ["main"]
 
 if __name__ == "__main__":
     sys.exit(main())

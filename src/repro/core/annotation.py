@@ -18,6 +18,8 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.sliding import moving_mean_std
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
@@ -30,7 +32,7 @@ __all__ = [
 ]
 
 
-def apply_annotation(mp: MatrixProfile, annotation: np.ndarray) -> MatrixProfile:
+def apply_annotation(mp: MatrixProfile, annotation: FloatArray) -> MatrixProfile:
     """The corrected matrix profile ``CMP = MP + (1 - AV) * max(MP)``."""
     av = np.asarray(annotation, dtype=np.float64)
     if av.shape != mp.profile.shape:
@@ -50,7 +52,7 @@ def apply_annotation(mp: MatrixProfile, annotation: np.ndarray) -> MatrixProfile
     )
 
 
-def variance_annotation(series: np.ndarray, length: int) -> np.ndarray:
+def variance_annotation(series: FloatArray, length: int) -> FloatArray:
     """AV favoring lively regions: per-window std rescaled to [0, 1].
 
     Flat stretches (sensor dropouts, saturation plateaus) produce
@@ -66,7 +68,7 @@ def variance_annotation(series: np.ndarray, length: int) -> np.ndarray:
 
 def interval_annotation(
     n_subsequences: int, suppressed: Iterable[Tuple[int, int]]
-) -> np.ndarray:
+) -> FloatArray:
     """AV that zeroes user-specified [start, end) intervals."""
     av = np.ones(n_subsequences, dtype=np.float64)
     for start, end in suppressed:

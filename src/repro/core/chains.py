@@ -21,6 +21,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.types import FloatArray, IntArray
+
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.leftright import LeftRightProfiles, stomp_left_right
@@ -45,7 +47,7 @@ class Chain:
         return self.members[-1] - self.members[0]
 
 
-def _bidirectional_links(lr: LeftRightProfiles) -> np.ndarray:
+def _bidirectional_links(lr: LeftRightProfiles) -> IntArray:
     """``link[i] = j`` when i->j is a bidirectional chain link, else -1."""
     n = lr.right_index.size
     link = np.full(n, -1, dtype=np.int64)
@@ -56,7 +58,7 @@ def _bidirectional_links(lr: LeftRightProfiles) -> np.ndarray:
     return link
 
 
-def all_chains(series: np.ndarray, length: int) -> List[Chain]:
+def all_chains(series: FloatArray, length: int) -> List[Chain]:
     """Every maximal chain of the given subsequence length.
 
     Chains of cardinality 1 (isolated subsequences) are omitted.  Each
@@ -90,7 +92,7 @@ def all_chains(series: np.ndarray, length: int) -> List[Chain]:
     return chains
 
 
-def unanchored_chain(series: np.ndarray, length: int) -> Chain:
+def unanchored_chain(series: FloatArray, length: int) -> Chain:
     """The longest chain (the 'unanchored' chain of the original paper).
 
     Ties break toward the smallest total link distance.  Raises when no

@@ -21,6 +21,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.core.entries import EntryStore
 from repro.distance.profile import correlation_from_qt
 from repro.distance.sliding import (
@@ -28,6 +30,7 @@ from repro.distance.sliding import (
     validate_subsequence_length,
 )
 from repro.distance.znorm import CONSTANT_EPS
+from repro.lint.contracts import positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.parallel import (
@@ -73,12 +76,12 @@ def row_blocks(n_rows: int, n_blocks: int, replay_cost: float = REPLAY_COST) -> 
 
 
 def _fill_block(
-    t: np.ndarray,
+    t: FloatArray,
     length: int,
     p: int,
     start: int,
     stop: int,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[FloatArray, FloatArray, FloatArray, FloatArray, FloatArray]:
     """Profile, index, and listDP rows for the row block ``[start, stop)``.
 
     The exact per-row pipeline of the serial loop, restricted to a block;
@@ -118,8 +121,9 @@ def _block_worker(task):
         shm.close()
 
 
+@require(series=series_like(min_length=4), length=positive_int(), p=positive_int())
 def compute_matrix_profile(
-    series: np.ndarray, length: int, p: int, n_jobs: Optional[int] = 1
+    series: FloatArray, length: int, p: int, n_jobs: Optional[int] = 1
 ) -> Tuple[MatrixProfile, EntryStore]:
     """Matrix profile at ``length`` plus the listDP store (Algorithm 3).
 

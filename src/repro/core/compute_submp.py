@@ -31,6 +31,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.types import BoolArray, FloatArray, IntArray
+
 from repro.core.entries import EntryStore
 from repro.core.lower_bound import lower_bound_from_base
 from repro.distance.mass import mass_with_stats
@@ -52,8 +54,8 @@ class SubMPResult:
     """
 
     length: int
-    sub_profile: np.ndarray
-    index: np.ndarray
+    sub_profile: FloatArray
+    index: IntArray
     found_motif: bool
     best_distance: float
     best_pair: Optional[Tuple[int, int]]
@@ -61,8 +63,8 @@ class SubMPResult:
     n_invalid: int
     n_recomputed: int
     # Diagnostics for Figures 9 and 14: per-profile pruning margin.
-    min_dist: np.ndarray = field(repr=False, default=None)
-    max_lb: np.ndarray = field(repr=False, default=None)
+    min_dist: Optional[FloatArray] = field(repr=False, default=None)
+    max_lb: Optional[FloatArray] = field(repr=False, default=None)
 
     @property
     def submp_size(self) -> int:
@@ -71,14 +73,14 @@ class SubMPResult:
 
 
 def _pairwise_distances(
-    qt: np.ndarray,
-    nb: np.ndarray,
-    usable: np.ndarray,
-    in_range: np.ndarray,
-    mu: np.ndarray,
-    sigma: np.ndarray,
+    qt: FloatArray,
+    nb: IntArray,
+    usable: BoolArray,
+    in_range: BoolArray,
+    mu: FloatArray,
+    sigma: FloatArray,
     length: int,
-) -> np.ndarray:
+) -> FloatArray:
     """Exact distances for every stored entry at ``length`` (vectorized Eq. 3)."""
     n_rows = qt.shape[0]
     safe_nb = np.where(in_range, nb, 0)
@@ -98,7 +100,7 @@ def _pairwise_distances(
 
 
 def compute_submp(
-    series: np.ndarray,
+    series: FloatArray,
     store: EntryStore,
     new_length: int,
     recompute_fraction: float = 0.5,

@@ -26,9 +26,10 @@ import numpy as np
 
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import instance_of, positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.registry import compute_with
-from repro.types import length_normalized
+from repro.types import FloatArray, length_normalized
 
 __all__ = ["Discord", "find_discords"]
 
@@ -47,8 +48,15 @@ class Discord:
         return self.start + self.length
 
 
+@require(
+    series=series_like(min_length=8),
+    l_min=positive_int(),
+    l_max=positive_int(),
+    k=positive_int(),
+    engine=instance_of(str),
+)
 def find_discords(
-    series: np.ndarray,
+    series: FloatArray,
     l_min: int,
     l_max: int,
     k: int = 3,

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.types import BoolArray, FloatArray, IntArray
+
 from repro.core.lower_bound import lower_bound_base
 from repro.exceptions import InvalidParameterError
 
@@ -51,10 +53,10 @@ class EntryStore:
         The length the ``qt`` values correspond to right now.
     """
 
-    neighbor: np.ndarray
-    qt: np.ndarray
-    lb_base: np.ndarray
-    base_length: np.ndarray
+    neighbor: IntArray
+    qt: FloatArray
+    lb_base: FloatArray
+    base_length: IntArray
     current_length: int
 
     @classmethod
@@ -85,11 +87,11 @@ class EntryStore:
     def fill_row(
         self,
         row: int,
-        qt_row: np.ndarray,
-        corr_row: np.ndarray,
+        qt_row: FloatArray,
+        corr_row: FloatArray,
         sigma_owner: float,
         length: int,
-        eligible: np.ndarray,
+        eligible: BoolArray,
     ) -> None:
         """Rebuild one row from a freshly computed distance profile.
 
@@ -119,7 +121,7 @@ class EntryStore:
         self.lb_base[row, count:] = np.inf
         self.base_length[row] = length
 
-    def advance_to(self, new_length: int, series: np.ndarray) -> None:
+    def advance_to(self, new_length: int, series: FloatArray) -> None:
         """Extend every stored pair's dot product to ``new_length``.
 
         Implements the O(1)-per-entry update of Algorithm 4, line 10:

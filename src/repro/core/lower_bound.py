@@ -36,6 +36,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.profile import correlation_from_qt
 from repro.distance.sliding import moving_mean_std, sliding_dot_product
 from repro.distance.znorm import CONSTANT_EPS
@@ -49,7 +51,7 @@ __all__ = [
     "tightness_of_lower_bound",
 ]
 
-FloatOrArray = Union[float, np.ndarray]
+FloatOrArray = Union[float, FloatArray]
 
 
 def lower_bound_base(
@@ -94,7 +96,7 @@ def lower_bound_from_base(
 
 
 def lower_bound_distance(
-    series: np.ndarray, i: int, j: int, length: int, k: int
+    series: FloatArray, i: int, j: int, length: int, k: int
 ) -> float:
     """Eq. 2 for one pair, computed explicitly (reference implementation).
 
@@ -126,8 +128,8 @@ def lower_bound_distance(
 
 
 def lower_bound_profile(
-    series: np.ndarray, owner: int, length: int, k: int
-) -> np.ndarray:
+    series: FloatArray, owner: int, length: int, k: int
+) -> FloatArray:
     """The lower-bound distance profile ``LB(D_j^{l+k})`` of Section 4.1.
 
     Entry ``i`` bounds ``dist(T[i, l+k], T[owner, l+k])``.  The vector has

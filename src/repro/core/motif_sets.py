@@ -24,19 +24,20 @@ from repro.core.valmp import PairRecord, PartialProfile
 from repro.distance.mass import mass
 from repro.distance.profile import apply_exclusion_zone
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import number_in, positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
-from repro.types import MotifPair, MotifSet
+from repro.types import FloatArray, IntArray, MotifPair, MotifSet
 
 __all__ = ["compute_motif_sets", "find_motif_sets"]
 
 
 def _candidates_for_side(
-    series: np.ndarray,
+    series: FloatArray,
     owner: int,
     length: int,
     radius: float,
     snapshot: Optional[PartialProfile],
-) -> Tuple[np.ndarray, np.ndarray, bool]:
+) -> Tuple[IntArray, FloatArray, bool]:
     """Offsets/distances within ``radius`` of one pair member.
 
     Returns ``(offsets, distances, recomputed)``.  Uses the snapshotted
@@ -78,7 +79,7 @@ def _greedy_non_trivial(
 
 
 def compute_motif_sets(
-    series: np.ndarray,
+    series: FloatArray,
     pairs: List[PairRecord],
     radius_factor: float,
 ) -> List[MotifSet]:
@@ -130,8 +131,16 @@ def compute_motif_sets(
     return result
 
 
+@require(
+    series=series_like(min_length=8),
+    l_min=positive_int(),
+    l_max=positive_int(),
+    k=positive_int(),
+    radius_factor=number_in(0.0, float("inf"), open_low=True),
+    p=positive_int(),
+)
 def find_motif_sets(
-    series: np.ndarray,
+    series: FloatArray,
     l_min: int,
     l_max: int,
     k: int = 10,

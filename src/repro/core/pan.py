@@ -41,7 +41,7 @@ from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.stomp import stomp
-from repro.types import MotifPair
+from repro.types import FloatArray, IntArray, MotifPair
 
 __all__ = ["PanMatrixProfile", "compute_pan_matrix_profile"]
 
@@ -52,13 +52,13 @@ class PanMatrixProfile:
 
     l_min: int
     l_max: int
-    distances: np.ndarray  # (n_lengths, n_positions), +inf = undefined
-    indices: np.ndarray    # (n_lengths, n_positions), -1 = undefined
+    distances: FloatArray  # (n_lengths, n_positions), +inf = undefined
+    indices: IntArray    # (n_lengths, n_positions), -1 = undefined
     repaired_rows: int = 0
     build_seconds: float = field(default=0.0, repr=False)
 
     @property
-    def lengths(self) -> np.ndarray:
+    def lengths(self) -> IntArray:
         return np.arange(self.l_min, self.l_max + 1)
 
     def profile_for(self, length: int) -> MatrixProfile:
@@ -83,12 +83,12 @@ class PanMatrixProfile:
             for length in self.lengths
         }
 
-    def normalized(self) -> np.ndarray:
+    def normalized(self) -> FloatArray:
         """The matrix scaled by ``sqrt(1/l)`` per row (cross-length view)."""
         scales = np.sqrt(1.0 / self.lengths.astype(np.float64))
         return self.distances * scales[:, None]
 
-    def valmp_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+    def valmp_arrays(self) -> Tuple[FloatArray, IntArray]:
         """(normalized distance, best length) per position — the VALMP."""
         norm = self.normalized()
         best_rows = np.argmin(np.where(np.isfinite(norm), norm, np.inf), axis=0)
@@ -126,7 +126,7 @@ class PanMatrixProfile:
                 break
         return result
 
-    def growth_curve(self, position: int) -> np.ndarray:
+    def growth_curve(self, position: int) -> FloatArray:
         """A position's NN distance as a function of the length."""
         if not 0 <= position < self.distances.shape[1]:
             raise InvalidParameterError(f"position {position} out of range")
@@ -134,7 +134,7 @@ class PanMatrixProfile:
 
 
 def compute_pan_matrix_profile(
-    series: np.ndarray,
+    series: FloatArray,
     l_min: int,
     l_max: int,
     strategy: str = "valmod",

@@ -18,6 +18,8 @@ from typing import List
 
 import numpy as np
 
+from repro.types import FloatArray, IntArray
+
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.stomp import stomp
@@ -25,7 +27,7 @@ from repro.matrixprofile.stomp import stomp
 __all__ = ["arc_curve", "corrected_arc_curve", "fluss", "regime_boundaries"]
 
 
-def arc_curve(index: np.ndarray) -> np.ndarray:
+def arc_curve(index: IntArray) -> FloatArray:
     """Raw arc crossings per position from a matrix-profile index."""
     idx = np.asarray(index, dtype=np.int64)
     n = idx.size
@@ -39,7 +41,7 @@ def arc_curve(index: np.ndarray) -> np.ndarray:
     return np.cumsum(delta[:n]).astype(np.float64)
 
 
-def corrected_arc_curve(index: np.ndarray, length: int) -> np.ndarray:
+def corrected_arc_curve(index: IntArray, length: int) -> FloatArray:
     """The CAC: arcs normalized by the random-arc parabola, in [0, 1].
 
     Positions within one subsequence length of either edge are set to
@@ -60,7 +62,7 @@ def corrected_arc_curve(index: np.ndarray, length: int) -> np.ndarray:
     return cac
 
 
-def fluss(series: np.ndarray, length: int) -> np.ndarray:
+def fluss(series: FloatArray, length: int) -> FloatArray:
     """Corrected arc curve of a series (computes the MP internally)."""
     t = as_series(series, min_length=8)
     mp = stomp(t, length)
@@ -68,7 +70,7 @@ def fluss(series: np.ndarray, length: int) -> np.ndarray:
 
 
 def regime_boundaries(
-    series: np.ndarray, length: int, n_regimes: int = 2
+    series: FloatArray, length: int, n_regimes: int = 2
 ) -> List[int]:
     """The ``n_regimes - 1`` deepest CAC minima, mutually separated.
 

@@ -14,6 +14,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.types import FloatArray
+
 __all__ = ["LengthStats", "RunStats"]
 
 
@@ -31,7 +33,7 @@ class LengthStats:
     submp_size: int = 0
     motif_distance: float = float("nan")
     # Optional per-profile pruning margin maxLB - minDist (Figure 9).
-    pruning_margin: Optional[np.ndarray] = field(default=None, repr=False)
+    pruning_margin: Optional[FloatArray] = field(default=None, repr=False)
 
     @property
     def valid_fraction(self) -> float:

@@ -28,7 +28,15 @@ from repro.core.valmp import VALMP, PairRecord, PartialProfile
 from repro.distance.sliding import moving_mean_std, validate_subsequence_length
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
-from repro.types import MotifPair
+from repro.lint.contracts import (
+    instance_of,
+    int_at_least,
+    optional,
+    positive_int,
+    require,
+    series_like,
+)
+from repro.types import FloatArray, MotifPair
 
 __all__ = ["Valmod", "ValmodResult", "valmod", "DEFAULT_P"]
 
@@ -102,7 +110,7 @@ class Valmod:
 
     def __init__(
         self,
-        series: np.ndarray,
+        series: FloatArray,
         l_min: int,
         l_max: int,
         p: int = DEFAULT_P,
@@ -282,8 +290,16 @@ class Valmod:
         )
 
 
+@require(
+    series=series_like(min_length=8),
+    l_min=positive_int(),
+    l_max=positive_int(),
+    p=positive_int(),
+    track_top_k=int_at_least(0),
+    n_jobs=optional(instance_of(int)),
+)
 def valmod(
-    series: np.ndarray,
+    series: FloatArray,
     l_min: int,
     l_max: int,
     p: int = DEFAULT_P,

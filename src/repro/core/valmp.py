@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import InvalidParameterError, NotComputedError
-from repro.types import MotifPair
+from repro.types import BoolArray, FloatArray, IntArray, MotifPair
 
 __all__ = ["VALMP", "PairRecord", "PartialProfile"]
 
@@ -40,8 +40,8 @@ class PartialProfile:
 
     owner: int
     length: int
-    neighbors: np.ndarray
-    distances: np.ndarray
+    neighbors: IntArray
+    distances: FloatArray
     max_lb: float
 
 
@@ -100,10 +100,10 @@ class VALMP:
 
     def update(
         self,
-        profile: np.ndarray,
-        index: np.ndarray,
+        profile: FloatArray,
+        index: IntArray,
         length: int,
-    ) -> np.ndarray:
+    ) -> BoolArray:
         """Merge one per-length profile into VALMP (Algorithm 2).
 
         ``profile`` may contain NaN for the ⊥ entries of a partial subMP;
@@ -130,7 +130,7 @@ class VALMP:
 
     def record_pairs(
         self,
-        improved: np.ndarray,
+        improved: BoolArray,
         length: int,
         snapshot,
     ) -> None:
@@ -182,6 +182,6 @@ class VALMP:
             i, int(self.indices[i]), int(self.lengths[i]), float(self.distances[i])
         )
 
-    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    def as_arrays(self) -> Tuple[FloatArray, FloatArray, IntArray, IntArray]:
         """(distances, norm_distances, lengths, indices) views."""
         return self.distances, self.norm_distances, self.lengths, self.indices

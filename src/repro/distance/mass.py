@@ -12,14 +12,18 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.profile import distance_profile_from_qt
 from repro.distance.sliding import moving_mean_std, sliding_dot_product
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import int_at_least, positive_int, require, series_like
 
 __all__ = ["mass", "mass_with_stats"]
 
 
-def mass(series: np.ndarray, start: int, length: int) -> np.ndarray:
+@require(series=series_like(), start=int_at_least(0), length=positive_int())
+def mass(series: FloatArray, start: int, length: int) -> FloatArray:
     """Distance profile of ``series[start : start + length]`` vs all windows.
 
     Convenience wrapper that computes the window statistics internally;
@@ -31,13 +35,13 @@ def mass(series: np.ndarray, start: int, length: int) -> np.ndarray:
 
 
 def mass_with_stats(
-    series: np.ndarray,
+    series: FloatArray,
     start: int,
     length: int,
-    mu: np.ndarray,
-    sigma: np.ndarray,
-    qt: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    mu: FloatArray,
+    sigma: FloatArray,
+    qt: Optional[FloatArray] = None,
+) -> FloatArray:
     """MASS with precomputed per-window statistics (and optionally QT).
 
     ``mu`` / ``sigma`` must be the length-``length`` moving statistics of
@@ -61,7 +65,7 @@ def mass_with_stats(
     )
 
 
-def mass_pair(series: np.ndarray, length: int, i: int, j: int) -> Tuple[float, float]:
+def mass_pair(series: FloatArray, length: int, i: int, j: int) -> Tuple[float, float]:
     """Distance and correlation between windows ``i`` and ``j`` (exact).
 
     Small helper used by engines that need a single pairwise value without

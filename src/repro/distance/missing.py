@@ -26,6 +26,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.types import BoolArray, FloatArray
+
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
 
 __all__ = [
@@ -37,12 +39,12 @@ __all__ = [
 _EPS = 1e-13
 
 
-def has_missing(series: np.ndarray) -> bool:
+def has_missing(series: FloatArray) -> bool:
     """True when the series contains NaN gaps."""
     return bool(np.isnan(np.asarray(series, dtype=np.float64)).any())
 
 
-def admissible_distance(a: np.ndarray, b: np.ndarray) -> float:
+def admissible_distance(a: FloatArray, b: FloatArray) -> float:
     """Minimum achievable z-normalized distance given the NaN gaps.
 
     With no gaps this equals the exact z-normalized distance.  With
@@ -95,8 +97,8 @@ def admissible_distance(a: np.ndarray, b: np.ndarray) -> float:
 
 
 def missing_aware_profile(
-    series: np.ndarray, start: int, length: int
-) -> Tuple[np.ndarray, np.ndarray]:
+    series: FloatArray, start: int, length: int
+) -> Tuple[FloatArray, BoolArray]:
     """Admissible distance profile of one query over a gappy series.
 
     Returns ``(bounds, exact_mask)``: ``bounds[j]`` is the admissible

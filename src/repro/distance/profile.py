@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.znorm import CONSTANT_EPS, znormalized_distance
 from repro.exceptions import InvalidParameterError
 
@@ -27,13 +29,13 @@ __all__ = [
 
 
 def correlation_from_qt(
-    qt: np.ndarray,
+    qt: FloatArray,
     length: int,
     mu_q: float,
     sigma_q: float,
-    mu: np.ndarray,
-    sigma: np.ndarray,
-) -> np.ndarray:
+    mu: FloatArray,
+    sigma: FloatArray,
+) -> FloatArray:
     """Pearson correlation between the query and every window, from QT.
 
     ``qt`` is the sliding dot product of the query against the series,
@@ -50,13 +52,13 @@ def correlation_from_qt(
 
 
 def distance_profile_from_qt(
-    qt: np.ndarray,
+    qt: FloatArray,
     length: int,
     mu_q: float,
     sigma_q: float,
-    mu: np.ndarray,
-    sigma: np.ndarray,
-) -> np.ndarray:
+    mu: FloatArray,
+    sigma: FloatArray,
+) -> FloatArray:
     """Vectorized Eq. 3: distance profile from dot products and statistics.
 
     Applies the constant-window conventions: distance 0 when both the
@@ -78,7 +80,7 @@ def distance_profile_from_qt(
     return profile
 
 
-def naive_distance_profile(series: np.ndarray, start: int, length: int) -> np.ndarray:
+def naive_distance_profile(series: FloatArray, start: int, length: int) -> FloatArray:
     """Reference distance profile by explicit re-normalization (O(n l)).
 
     Slow but obviously correct; used as ground truth in tests and by the
@@ -98,8 +100,8 @@ def naive_distance_profile(series: np.ndarray, start: int, length: int) -> np.nd
 
 
 def apply_exclusion_zone(
-    profile: np.ndarray, center: int, exclusion: int, value: float = np.inf
-) -> np.ndarray:
+    profile: FloatArray, center: int, exclusion: int, value: float = np.inf
+) -> FloatArray:
     """Mask the trivial-match region around ``center`` in place.
 
     The paper's exclusion zone covers positions within ``l/2`` of the
@@ -113,5 +115,11 @@ def apply_exclusion_zone(
 
 
 def exclusion_half_width(length: int) -> int:
-    """The paper's heuristic exclusion half-width, ``ceil(l / 2)``."""
-    return max(1, int(np.ceil(length / 2.0)))
+    """Deprecated alias for the central exclusion-zone helper.
+
+    Kept for backward compatibility; the one source of truth for the
+    half-width rule is :mod:`repro.matrixprofile.exclusion` (R004).
+    """
+    from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+    return exclusion_zone_half_width(length)

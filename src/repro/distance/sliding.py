@@ -20,6 +20,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.exceptions import InvalidParameterError
 from repro.distance.znorm import CONSTANT_EPS, as_series
 
@@ -32,7 +34,7 @@ __all__ = [
 ]
 
 
-def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+def sliding_dot_product(query: FloatArray, series: FloatArray) -> FloatArray:
     """Dot product of ``query`` with every window of ``series``.
 
     Returns a vector ``QT`` of length ``n - m + 1`` with
@@ -60,7 +62,7 @@ def sliding_dot_product(query: np.ndarray, series: np.ndarray) -> np.ndarray:
     return conv[m - 1 : n]
 
 
-def moving_mean_std(series: np.ndarray, window: int) -> Tuple[np.ndarray, np.ndarray]:
+def moving_mean_std(series: FloatArray, window: int) -> Tuple[FloatArray, FloatArray]:
     """Mean and std of every length-``window`` subsequence, in O(n).
 
     Uses compensated prefix sums: the variance is computed as
@@ -102,7 +104,7 @@ def moving_mean_std(series: np.ndarray, window: int) -> Tuple[np.ndarray, np.nda
     return mu, sigma
 
 
-def prefix_sums(series: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def prefix_sums(series: FloatArray) -> Tuple[FloatArray, FloatArray]:
     """Cumulative sum and cumulative squared sum, each with a leading zero.
 
     With ``c, c2 = prefix_sums(T)`` the window ``T[i : i + l]`` has sum
@@ -119,7 +121,7 @@ def prefix_sums(series: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def window_sums_at(
-    cumsum: np.ndarray, cumsum_sq: np.ndarray, start: int, length: int
+    cumsum: FloatArray, cumsum_sq: FloatArray, start: int, length: int
 ) -> Tuple[float, float]:
     """Sum and squared sum of the window at ``start`` of ``length`` in O(1)."""
     end = start + length
@@ -130,7 +132,7 @@ def window_sums_at(
 
 
 def window_mean_std_at(
-    cumsum: np.ndarray, cumsum_sq: np.ndarray, start: int, length: int
+    cumsum: FloatArray, cumsum_sq: FloatArray, start: int, length: int
 ) -> Tuple[float, float]:
     """Mean and std of the window at ``start`` of ``length`` in O(1)."""
     s, ss = window_sums_at(cumsum, cumsum_sq, start, length)

@@ -21,6 +21,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
 
 __all__ = [
@@ -36,10 +38,10 @@ __all__ = [
 #: subsequence).  Relative to z-normalized data this is conservatively tiny.
 CONSTANT_EPS = 1e-13
 
-ArrayLike = Union[np.ndarray, list, tuple]
+ArrayLike = Union[FloatArray, list, tuple]
 
 
-def as_series(data: ArrayLike, min_length: int = 2) -> np.ndarray:
+def as_series(data: ArrayLike, min_length: int = 2) -> FloatArray:
     """Validate and convert input to a 1-D float64 array.
 
     Raises :class:`InvalidSeriesError` for non-1-D input, series shorter
@@ -57,7 +59,7 @@ def as_series(data: ArrayLike, min_length: int = 2) -> np.ndarray:
     return series
 
 
-def znormalize(subsequence: ArrayLike) -> np.ndarray:
+def znormalize(subsequence: ArrayLike) -> FloatArray:
     """Return the z-normalized copy ``(x - mean) / std`` of a subsequence.
 
     A constant subsequence (std below :data:`CONSTANT_EPS`) normalizes to

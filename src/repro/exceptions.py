@@ -9,6 +9,15 @@ conventions keeps working.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "InvalidSeriesError",
+    "InvalidParameterError",
+    "NotComputedError",
+    "BudgetExceededError",
+    "ContractViolationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -32,5 +41,17 @@ class BudgetExceededError(ReproError, RuntimeError):
     The paper reports baselines that "fail to terminate within a
     reasonable amount of time"; the harness reproduces those DNF entries
     by passing a deadline to the baselines and catching this error.
+    """
+
+
+class ContractViolationError(InvalidParameterError, TypeError):
+    """A runtime contract (:mod:`repro.lint.contracts`) was violated.
+
+    Raised only when contracts are enabled via ``REPRO_CONTRACTS=1``.
+    Derives from :class:`InvalidParameterError` (and hence
+    :class:`ValueError`) because a contract catches the same misuse the
+    in-function validation would — code testing for either type must
+    behave identically in both modes — and from :class:`TypeError` for
+    callers treating API misuse as a typing problem.
     """
 

@@ -1,0 +1,336 @@
+"""Shared analysis machinery for the :mod:`repro.lint` rules.
+
+A :class:`FileContext` wraps one parsed source file: its AST, the raw
+lines, the ``# repro-lint:`` pragmas, and lazily computed per-scope guard
+information (clip/floor assignments, comparison guards, ``np.errstate``
+spans) that several rules consult.  Rules subclass :class:`Rule` and yield
+:class:`Diagnostic` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "Scope",
+    "call_name",
+    "name_tokens",
+    "is_guard_call",
+    "iter_calls",
+]
+
+#: directories whose modules count as numerical-kernel code.
+KERNEL_DIRS = frozenset({"distance", "matrixprofile", "core"})
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+#: calls that clamp a value into a safe domain (guards for R001/R002).
+GUARD_CALLS = frozenset(
+    {"np.maximum", "np.clip", "numpy.maximum", "numpy.clip", "max", "min"}
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def call_name(node: ast.AST) -> str:
+    """Dotted name of a call target: ``np.fft.rfft``, ``max``, ``''``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def name_tokens(node: ast.AST) -> Set[str]:
+    """All identifier tokens (``Name`` ids and ``Attribute`` attrs) in a subtree."""
+    tokens: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr)
+    return tokens
+
+
+def is_guard_call(node: ast.AST) -> bool:
+    """True for calls that clamp their argument (``np.maximum``, ``np.clip``...)."""
+    return isinstance(node, ast.Call) and call_name(node) in GUARD_CALLS
+
+
+def contains_guard_call(node: ast.AST) -> bool:
+    """True when any call in the subtree is a clamp/clip call."""
+    return any(is_guard_call(sub) for sub in ast.walk(node))
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def _end_line(node: ast.AST) -> int:
+    return getattr(node, "end_lineno", None) or getattr(node, "lineno", 0)
+
+
+@dataclass
+class Scope:
+    """Guard bookkeeping for one function body (or the module top level).
+
+    ``clip_guarded`` maps a variable name to the first line at which it was
+    clamped into a safe domain — either re-assigned from an expression
+    containing a clamp call (``x = np.maximum(..., eps)``,
+    ``q = min(1.0, max(-1.0, q))``) or mutated in place through an
+    ``out=x`` keyword.  ``compare_guarded`` maps a name to the first line
+    it was tested in a branch condition (the early-return guard idiom).
+    ``errstate_spans`` are the line ranges covered by ``np.errstate``
+    context managers.
+    """
+
+    node: ast.AST
+    name: str
+    clip_guarded: Dict[str, int] = field(default_factory=dict)
+    compare_guarded: Dict[str, int] = field(default_factory=dict)
+    errstate_spans: List[Tuple[int, int]] = field(default_factory=list)
+    statements: List[ast.stmt] = field(default_factory=list)
+
+    def is_clip_guarded(self, name: str, before_line: int) -> bool:
+        line = self.clip_guarded.get(name)
+        return line is not None and line <= before_line
+
+    def is_compare_guarded(self, name: str, before_line: int) -> bool:
+        line = self.compare_guarded.get(name)
+        return line is not None and line <= before_line
+
+    def in_errstate(self, line: int) -> bool:
+        return any(lo <= line <= hi for lo, hi in self.errstate_spans)
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Walk the scope's own statements (nested defs are separate scopes)."""
+        for stmt in self.statements:
+            # A def statement at this level is its own scope: the def node
+            # is visible here but its body belongs to the nested scope.
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt
+                continue
+            yield from _walk_scope_local(stmt)
+
+
+def _walk_scope_local(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class bodies."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            yield child  # the def itself is visible; its body is not
+            continue
+        yield from _walk_scope_local(child)
+
+
+def _record_guard(scope: Scope, name: str, line: int) -> None:
+    if name not in scope.clip_guarded or line < scope.clip_guarded[name]:
+        scope.clip_guarded[name] = line
+
+
+def _record_compare(scope: Scope, name: str, line: int) -> None:
+    if name not in scope.compare_guarded or line < scope.compare_guarded[name]:
+        scope.compare_guarded[name] = line
+
+
+def _scan_scope(scope: Scope) -> None:
+    for node in scope.walk():
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is not None and contains_guard_call(value):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        _record_guard(scope, target.id, node.lineno)
+        if isinstance(node, ast.Call) and is_guard_call(node):
+            for kw in node.keywords:
+                if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                    _record_guard(scope, kw.value.id, node.lineno)
+        if isinstance(node, (ast.If, ast.While)):
+            for sub in ast.walk(node.test):
+                if isinstance(sub, ast.Compare):
+                    for tok in name_tokens(sub):
+                        _record_compare(scope, tok, node.lineno)
+        if isinstance(node, ast.IfExp):
+            for sub in ast.walk(node.test):
+                if isinstance(sub, ast.Compare):
+                    for tok in name_tokens(sub):
+                        _record_compare(scope, tok, node.lineno)
+        if isinstance(node, ast.With):
+            for item in node.items:
+                if call_name(item.context_expr) in (
+                    "np.errstate",
+                    "numpy.errstate",
+                ):
+                    scope.errstate_spans.append((node.lineno, _end_line(node)))
+                    break
+
+
+class FileContext:
+    """One source file under analysis."""
+
+    def __init__(self, path: Path, source: str, root: Optional[Path] = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        try:
+            rel = path.relative_to(root) if root is not None else path
+        except ValueError:
+            rel = path
+        self.display_path = str(rel)
+        self.module_parts: Tuple[str, ...] = tuple(p.name for p in rel.parents)[
+            ::-1
+        ] + (rel.stem,)
+        self.ignores: Dict[int, Set[str]] = {}
+        self.skip_file = False
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                self.ignores.setdefault(lineno, set()).update(ids - {""})
+            if _SKIP_FILE_RE.search(line):
+                self.skip_file = True
+        self._scopes: Optional[List[Scope]] = None
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_kernel(self) -> bool:
+        """Module lives in a numerical-kernel package (distance/matrixprofile/core)."""
+        return any(part in KERNEL_DIRS for part in self.module_parts[:-1])
+
+    @property
+    def is_exclusion_module(self) -> bool:
+        return self.module_parts[-1] == "exclusion"
+
+    @property
+    def is_worker_module(self) -> bool:
+        """Module that ships work to processes/threads (R005 scope)."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name.split(".")[0] in ("multiprocessing", "concurrent")
+                    for alias in node.names
+                ):
+                    return True
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.split(".")[0] in ("multiprocessing", "concurrent"):
+                    return True
+        return False
+
+    # -- scopes ------------------------------------------------------------
+
+    @property
+    def scopes(self) -> List[Scope]:
+        if self._scopes is None:
+            scopes: List[Scope] = []
+            module_scope = Scope(
+                node=self.tree, name="<module>", statements=list(self.tree.body)
+            )
+            scopes.append(module_scope)
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scopes.append(
+                        Scope(node=node, name=node.name, statements=list(node.body))
+                    )
+            for scope in scopes:
+                _scan_scope(scope)
+            self._scopes = scopes
+        return self._scopes
+
+    def scope_of(self, node: ast.AST) -> Scope:
+        """The innermost scope whose span contains ``node``."""
+        line = getattr(node, "lineno", 0)
+        best = self.scopes[0]
+        best_span = float("inf")
+        for scope in self.scopes[1:]:
+            lo = getattr(scope.node, "lineno", 0)
+            hi = _end_line(scope.node)
+            if lo <= line <= hi and (hi - lo) < best_span:
+                best = scope
+                best_span = hi - lo
+        return best
+
+    def ignored(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.ignores.get(line, set())
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def run(self, ctx: FileContext) -> List[Diagnostic]:
+        if ctx.skip_file or not self.applies(ctx):
+            return []
+        return [
+            diag
+            for diag in self.check(ctx)
+            if not ctx.ignored(diag.line, diag.rule_id)
+        ]
+
+    def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def parse_file(path: Path, root: Optional[Path] = None) -> FileContext:
+    """Read and parse one file into a :class:`FileContext`."""
+    return FileContext(path, path.read_text(encoding="utf-8"), root=root)
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            found.append(path)
+    return found

@@ -1,0 +1,76 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit status 0 when every checked file is clean, 1 when any rule fired,
+2 on usage errors — the contract the CI ``static-analysis`` job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.rules import all_rules
+from repro.lint.runner import lint_paths
+
+__all__ = ["main", "build_parser", "format_rule_table"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Kernel-invariant static analyzer for the repro numerical core "
+            "(rules R001-R006; see docs/LINTING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def format_rule_table() -> str:
+    rows = [(rule.rule_id, rule.name, rule.summary) for rule in all_rules()]
+    id_w = max(len(r[0]) for r in rows)
+    name_w = max(len(r[1]) for r in rows)
+    lines = [f"{'ID':<{id_w}}  {'NAME':<{name_w}}  SUMMARY"]
+    for rule_id, name, summary in rows:
+        lines.append(f"{rule_id:<{id_w}}  {name:<{name_w}}  {summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(format_rule_table())
+        return 0
+    paths = args.paths or ["src"]
+    select = args.select.split(",") if args.select else None
+    try:
+        diagnostics = lint_paths(paths, select=select)
+    except ValueError as err:
+        parser.error(str(err))  # exits 2
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        print(
+            f"repro.lint: {len(diagnostics)} violation(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

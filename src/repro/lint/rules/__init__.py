@@ -1,0 +1,27 @@
+"""Rule registry: one module per kernel invariant, R001–R006."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.base import Rule
+from repro.lint.rules.r001_sqrt_clip import SqrtClipRule
+from repro.lint.rules.r002_errstate_div import ErrstateDivRule
+from repro.lint.rules.r003_exceptions import ExceptionHierarchyRule
+from repro.lint.rules.r004_exclusion import ExclusionZoneRule
+from repro.lint.rules.r005_determinism import WorkerDeterminismRule
+from repro.lint.rules.r006_dtype import DtypeDisciplineRule
+
+__all__ = ["all_rules"]
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate the full rule set, in rule-id order."""
+    return [
+        SqrtClipRule(),
+        ErrstateDivRule(),
+        ExceptionHierarchyRule(),
+        ExclusionZoneRule(),
+        WorkerDeterminismRule(),
+        DtypeDisciplineRule(),
+    ]

@@ -1,0 +1,84 @@
+"""R001: clip before ``sqrt`` on correlation-derived expressions.
+
+Eq. 3 turns a Pearson correlation into a distance via
+``sqrt(2 l (1 - q))``.  Floating-point drift in the incremental
+dot-product updates routinely pushes ``q`` a few ulps past 1, making the
+radicand a tiny negative number and the distance NaN — a bug this repo
+hit in the STOMP rolling update on drifted correlations.  Every ``sqrt``
+whose argument derives from a correlation/distance/variance quantity must
+therefore be clamped first (``np.maximum(x, 0)``, ``np.clip``,
+``max(x, 0.0)``) in the same function, or wrap the clamp directly around
+the radicand.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.base import (
+    Diagnostic,
+    FileContext,
+    Rule,
+    call_name,
+    is_guard_call,
+    name_tokens,
+)
+
+_SQRT_CALLS = frozenset({"np.sqrt", "numpy.sqrt", "math.sqrt"})
+_RISKY_SUBSTR = re.compile(r"corr|dist|var", re.IGNORECASE)
+_RISKY_EXACT = frozenset({"q", "qt"})
+
+
+def _risky_tokens(node: ast.AST) -> list:
+    return sorted(
+        tok
+        for tok in name_tokens(node)
+        if _RISKY_SUBSTR.search(tok) or tok in _RISKY_EXACT
+    )
+
+
+class SqrtClipRule(Rule):
+    rule_id = "R001"
+    name = "sqrt-needs-clip"
+    summary = "sqrt over correlation-derived values must be clip-guarded"
+    rationale = (
+        "correlations drift past 1.0 by ulps; sqrt of the tiny negative "
+        "radicand is NaN (hit in the STOMP rolling-QT update, PR 1)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_kernel
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for scope in ctx.scopes:
+            for node in scope.walk():
+                arg = None
+                if isinstance(node, ast.Call) and call_name(node) in _SQRT_CALLS:
+                    if node.args:
+                        arg = node.args[0]
+                elif (
+                    isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Pow)
+                    and isinstance(node.right, ast.Constant)
+                    and node.right.value == 0.5
+                ):
+                    arg = node.left
+                if arg is None:
+                    continue
+                if is_guard_call(arg):
+                    continue  # sqrt(np.maximum(x, 0)) / sqrt(max(0, x))
+                line = getattr(node, "lineno", 0)
+                for tok in _risky_tokens(arg):
+                    if scope.is_clip_guarded(tok, line):
+                        continue
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"sqrt radicand depends on {tok!r} with no "
+                        "clip/maximum(0, ...) guard in this function; "
+                        "drifted correlations make it negative and the "
+                        "distance NaN",
+                    )
+                    break

@@ -1,0 +1,68 @@
+"""R002: divisions by window deviations need ``np.errstate`` or a guard.
+
+Eq. 3 divides by ``l * sigma_i * sigma_j``.  A flat window has sigma 0,
+so an unguarded kernel division emits RuntimeWarnings, infinities, or
+NaNs that silently poison the profile — the flat-segment bug class fixed
+in PR 1/3.  Every division whose denominator references a deviation-like
+quantity must sit under ``with np.errstate(...)``, clamp the denominator
+(``np.maximum(sigma, EPS)``), or follow an explicit zero-deviation branch
+(``if sigma < CONSTANT_EPS: ...``) in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.lint.base import (
+    Diagnostic,
+    FileContext,
+    Rule,
+    contains_guard_call,
+    name_tokens,
+)
+
+_SIGMA_LIKE = re.compile(r"sig|std|denom", re.IGNORECASE)
+
+
+class ErrstateDivRule(Rule):
+    rule_id = "R002"
+    name = "guarded-division"
+    summary = "divisions by sigma-like values need errstate or a zero guard"
+    rationale = (
+        "flat (constant) windows have sigma 0; unguarded Eq. 3 divisions "
+        "turn them into inf/NaN profile entries (flat-segment bugs, PR 1/3)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_kernel
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for scope in ctx.scopes:
+            for node in scope.walk():
+                if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+                    continue
+                risky: List[str] = sorted(
+                    tok for tok in name_tokens(node.right) if _SIGMA_LIKE.search(tok)
+                )
+                if not risky:
+                    continue
+                line = getattr(node, "lineno", 0)
+                if scope.in_errstate(line):
+                    continue
+                if contains_guard_call(node.right):
+                    continue  # denominator clamped in place
+                if all(
+                    scope.is_clip_guarded(tok, line)
+                    or scope.is_compare_guarded(tok, line)
+                    for tok in risky
+                ):
+                    continue
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"division by deviation-like value(s) {', '.join(map(repr, risky))} "
+                    "outside np.errstate and without a zero-std guard; a flat "
+                    "window makes this inf/NaN",
+                )

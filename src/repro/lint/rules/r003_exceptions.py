@@ -1,0 +1,51 @@
+"""R003: raise the central exception hierarchy, never bare ValueError/assert.
+
+Public entry points validate through the central validators
+(:func:`repro.distance.znorm.as_series`,
+:func:`repro.distance.sliding.validate_subsequence_length`) and raise
+:mod:`repro.exceptions` types so callers can catch one ``ReproError``
+base.  Bare ``ValueError``/``TypeError`` escape that contract, and
+``assert`` statements vanish under ``python -O``, turning validation into
+undefined behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+_BARE_EXCEPTIONS = frozenset({"ValueError", "TypeError"})
+
+
+class ExceptionHierarchyRule(Rule):
+    rule_id = "R003"
+    name = "exception-hierarchy"
+    summary = "no bare ValueError/TypeError raises or assert-validation"
+    rationale = (
+        "callers catch ReproError; a bare ValueError bypasses the hierarchy "
+        "and asserts disappear under -O, so invalid input slips into kernels"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = call_name(exc) if isinstance(exc, ast.Call) else ""
+                if isinstance(exc, ast.Name):
+                    name = exc.id
+                if name in _BARE_EXCEPTIONS:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"raise {name} directly; use the repro.exceptions "
+                        "hierarchy (InvalidSeriesError / InvalidParameterError)",
+                    )
+            elif isinstance(node, ast.Assert):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "assert used for validation; asserts vanish under -O — "
+                    "raise a repro.exceptions type instead",
+                )

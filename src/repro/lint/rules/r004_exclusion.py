@@ -1,0 +1,57 @@
+"""R004: exclusion-zone arithmetic must go through the central helpers.
+
+The trivial-match half-width is ``max(1, ceil(l / 2))`` — rounded *up*,
+with a floor of one.  Hand-rolled ``m // 2`` variants round *down* and
+lose the floor, which desynchronizes engines at chunk seams (each side
+masks a different band and the merged profile keeps a trivial match).
+All half-width math belongs in :mod:`repro.matrixprofile.exclusion`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.base import Diagnostic, FileContext, Rule, name_tokens
+
+_LENGTH_LIKE = re.compile(
+    r"^(length|len|l|m|window|win|wlen|sub_?len(gth)?|seq_?len)$", re.IGNORECASE
+)
+
+
+class ExclusionZoneRule(Rule):
+    rule_id = "R004"
+    name = "central-exclusion-zone"
+    summary = "no inline length//2 exclusion-zone arithmetic outside the helper"
+    rationale = (
+        "floor-vs-ceil half-width mismatches between engines leave trivial "
+        "matches alive at chunk seams (exclusion bugs debugged in PR 3)"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_kernel and not ctx.is_exclusion_module
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.FloorDiv, ast.Div)):
+                continue
+            if not (
+                isinstance(node.right, ast.Constant)
+                and node.right.value in (2, 2.0)
+            ):
+                continue
+            length_names = sorted(
+                tok for tok in name_tokens(node.left) if _LENGTH_LIKE.match(tok)
+            )
+            if not length_names:
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                f"inline half-width arithmetic on {length_names[0]!r}; use "
+                "repro.matrixprofile.exclusion.exclusion_zone_half_width "
+                "so every engine applies the same ceil-with-floor rule",
+            )

@@ -1,0 +1,95 @@
+"""R006: float64 dtype discipline in kernel buffers.
+
+Every kernel invariant (drift budgets, CONSTANT_EPS thresholds, bitwise
+cross-engine parity) is calibrated for IEEE-754 double precision.  Two
+shapes violate it: allocating a result buffer without an explicit dtype
+(the default can be platform- or input-dependent, and implicitness hides
+accidental downcasts), and introducing a narrow float dtype anywhere in a
+kernel module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+#: buffer constructors that must spell out their dtype.  The *_like and
+#: asarray families inherit a dtype from an existing array and are exempt.
+_CONSTRUCTOR_DTYPE_POS = {
+    "np.empty": 1,
+    "np.zeros": 1,
+    "np.ones": 1,
+    "np.full": 2,
+    "numpy.empty": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.full": 2,
+}
+
+_NARROW_FLOATS = frozenset({"float32", "float16", "half", "single"})
+
+
+def _dtype_value_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class DtypeDisciplineRule(Rule):
+    rule_id = "R006"
+    name = "float64-discipline"
+    summary = "kernel buffers need explicit dtype; no narrow floats in kernels"
+    rationale = (
+        "drift tolerances and CONSTANT_EPS are double-precision constants; "
+        "an implicit or narrow dtype silently changes every guarantee"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_kernel
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            dtype_pos = _CONSTRUCTOR_DTYPE_POS.get(name)
+            if dtype_pos is not None:
+                has_kw = any(kw.arg == "dtype" for kw in node.keywords)
+                has_pos = len(node.args) > dtype_pos
+                if not has_kw and not has_pos:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"{name} without an explicit dtype in a kernel "
+                        "module; spell out dtype=np.float64 (or the intended "
+                        "integer type)",
+                    )
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    value = _dtype_value_name(kw.value)
+                    if value in _NARROW_FLOATS:
+                        yield self.diag(
+                            ctx,
+                            kw.value,
+                            f"narrow float dtype {value!r} in a kernel "
+                            "module; kernels are calibrated for float64",
+                        )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+            ):
+                value = _dtype_value_name(node.args[0])
+                if value in _NARROW_FLOATS:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"astype({value}) in a kernel module; kernels are "
+                        "calibrated for float64",
+                    )

@@ -1,0 +1,68 @@
+"""File discovery and rule dispatch for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.lint.base import Diagnostic, FileContext, Rule, discover_files, parse_file
+from repro.lint.rules import all_rules
+
+__all__ = ["lint_paths", "lint_source", "select_rules"]
+
+
+def select_rules(
+    rules: Optional[Iterable[Rule]] = None, select: Optional[Sequence[str]] = None
+) -> List[Rule]:
+    """Resolve the active rule set, optionally filtered by rule id."""
+    active = list(rules) if rules is not None else all_rules()
+    if select:
+        wanted = {rule_id.strip().upper() for rule_id in select}
+        unknown = wanted - {rule.rule_id for rule in active}
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        active = [rule for rule in active if rule.rule_id in wanted]
+    return active
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string (test and tooling entry point)."""
+    ctx = FileContext(Path(path), source)
+    diagnostics: List[Diagnostic] = []
+    for rule in select_rules(rules):
+        diagnostics.extend(rule.run(ctx))
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.rule_id))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Iterable[Rule]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint files and directories; returns diagnostics in stable order."""
+    active = select_rules(rules, select)
+    diagnostics: List[Diagnostic] = []
+    for path in discover_files([Path(p) for p in paths]):
+        try:
+            ctx = parse_file(path)
+        except SyntaxError as err:
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=err.lineno or 0,
+                    col=(err.offset or 0),
+                    rule_id="E000",
+                    message=f"syntax error: {err.msg}",
+                )
+            )
+            continue
+        for rule in active:
+            diagnostics.extend(rule.run(ctx))
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.rule_id))

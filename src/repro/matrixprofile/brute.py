@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.znorm import as_series, znormalized_distance
 from repro.distance.sliding import validate_subsequence_length
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
@@ -17,7 +19,7 @@ from repro.matrixprofile.index import MatrixProfile
 __all__ = ["brute_force_matrix_profile"]
 
 
-def brute_force_matrix_profile(series: np.ndarray, length: int) -> MatrixProfile:
+def brute_force_matrix_profile(series: FloatArray, length: int) -> MatrixProfile:
     """Compute the matrix profile by exhaustive pairwise comparison."""
     t = as_series(series, min_length=4)
     n_subs = validate_subsequence_length(t.size, length)

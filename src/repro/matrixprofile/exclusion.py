@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+from repro.exceptions import InvalidParameterError
+
 __all__ = ["exclusion_zone_half_width", "is_trivial_match"]
 
 
@@ -22,7 +24,7 @@ def exclusion_zone_half_width(length: int) -> int:
     implementations.
     """
     if length <= 0:
-        raise ValueError(f"length must be positive, got {length}")
+        raise InvalidParameterError(f"length must be positive, got {length}")
     return max(1, int(math.ceil(length / 2.0)))
 
 

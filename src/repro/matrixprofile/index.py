@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.exceptions import InvalidParameterError, NotComputedError
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
-from repro.types import MotifPair
+from repro.types import FloatArray, IntArray, MotifPair
 
 __all__ = ["MatrixProfile"]
 
@@ -36,8 +36,8 @@ class MatrixProfile:
         The subsequence length ``l``.
     """
 
-    profile: np.ndarray
-    index: np.ndarray
+    profile: FloatArray
+    index: IntArray
     length: int
 
     def __post_init__(self) -> None:

@@ -61,11 +61,11 @@ def stomp_left_right(series: np.ndarray, length: int) -> LeftRightProfiles:
     mu, sigma = moving_mean_std(t, length)
     zone = exclusion_zone_half_width(length)
 
-    profile = np.full(n_subs, np.inf)
+    profile = np.full(n_subs, np.inf, dtype=np.float64)
     index = np.full(n_subs, -1, dtype=np.int64)
-    left_profile = np.full(n_subs, np.inf)
+    left_profile = np.full(n_subs, np.inf, dtype=np.float64)
     left_index = np.full(n_subs, -1, dtype=np.int64)
-    right_profile = np.full(n_subs, np.inf)
+    right_profile = np.full(n_subs, np.inf, dtype=np.float64)
     right_index = np.full(n_subs, -1, dtype=np.int64)
 
     for i, _, row in iterate_stomp_rows(t, length, mu, sigma):

@@ -45,11 +45,14 @@ for any chunking and any worker count:
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context, shared_memory
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.types import FloatArray, IntArray
 
 from repro.distance.sliding import (
     moving_mean_std,
@@ -58,6 +61,15 @@ from repro.distance.sliding import (
 )
 from repro.distance.znorm import CONSTANT_EPS, as_series
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import (
+    ensure,
+    instance_of,
+    no_nan_profile,
+    optional,
+    positive_int,
+    require,
+    series_like,
+)
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.stomp import exact_qt_row, stomp_reanchor_rows
@@ -116,15 +128,15 @@ def split_diagonals(
 
 
 def _both_side_distances(
-    qt_i: np.ndarray,
-    qt_j: np.ndarray,
+    qt_i: FloatArray,
+    qt_j: FloatArray,
     length: int,
     mu_i: float,
     sigma_i: float,
-    mu_j: np.ndarray,
-    sigma_j: np.ndarray,
+    mu_j: FloatArray,
+    sigma_j: FloatArray,
     sqrt_l: float,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[FloatArray, FloatArray]:
     """Eq. 3 for one row of a chunk, from both pair perspectives.
 
     Mirrors ``distance_profile_from_qt`` operation by operation so each
@@ -169,15 +181,15 @@ def _both_side_distances(
 
 
 def diagonal_chunk_min_profile(
-    t: np.ndarray,
+    t: FloatArray,
     length: int,
-    mu: np.ndarray,
-    sigma: np.ndarray,
-    qt_first: np.ndarray,
-    anchors: np.ndarray,
+    mu: FloatArray,
+    sigma: FloatArray,
+    qt_first: FloatArray,
+    anchors: IntArray,
     d_lo: int,
     d_hi: int,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[FloatArray, IntArray]:
     """Min-profile contribution of diagonals ``[d_lo, d_hi)``.
 
     Returns ``(profile, index)`` of full length ``n_subs``: positions the
@@ -204,7 +216,7 @@ def diagonal_chunk_min_profile(
     anchor_rows = set(int(a) for a in anchors)
     exact_rows: dict = {}
 
-    def exact_row(a: int) -> np.ndarray:
+    def exact_row(a: int) -> FloatArray:
         row = exact_rows.get(a)
         if row is None:
             row = exact_qt_row(t, a, length)
@@ -265,8 +277,8 @@ def diagonal_chunk_min_profile(
 
 
 def merge_profiles(
-    profiles: Sequence[np.ndarray], indices: Sequence[np.ndarray]
-) -> Tuple[np.ndarray, np.ndarray]:
+    profiles: Sequence[FloatArray], indices: Sequence[IntArray]
+) -> Tuple[FloatArray, IntArray]:
     """Reduce per-chunk min-profiles into one profile.
 
     Lexicographic ``(value, neighbor index)`` minimum per position: ties
@@ -292,7 +304,7 @@ def merge_profiles(
 # ---------------------------------------------------------------------------
 
 
-def _create_shared(arr: np.ndarray) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+def _create_shared(arr: FloatArray) -> Tuple[shared_memory.SharedMemory, FloatArray]:
     """Copy ``arr`` into a fresh shared-memory block; returns (shm, view)."""
     shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
@@ -317,8 +329,17 @@ def _attach(name: str, shape: Tuple[int, ...], dtype: str, untrack: bool):
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
+        except (ImportError, AttributeError, KeyError, ValueError) as err:
+            # Tracker layout differs across Python patch releases; a failed
+            # unregister only risks a spurious cleanup warning, so log and
+            # continue.  Anything else (e.g. a corrupted tracker pipe) is a
+            # real failure and propagates.
+            warnings.warn(
+                f"could not unregister shared-memory block {shm._name!r} "
+                f"from the worker resource tracker: {err!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
 
 
@@ -379,8 +400,15 @@ def _preferred_context():
         return get_context()
 
 
+@require(
+    series=series_like(min_length=4),
+    length=positive_int(),
+    n_jobs=optional(instance_of(int)),
+    n_chunks=optional(positive_int()),
+)
+@ensure(no_nan_profile)
 def parallel_stomp(
-    series: np.ndarray,
+    series: FloatArray,
     length: int,
     n_jobs: Optional[int] = None,
     n_chunks: Optional[int] = None,

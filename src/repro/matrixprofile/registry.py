@@ -18,7 +18,10 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import instance_of, positive_int, require, series_like
 from repro.matrixprofile.brute import brute_force_matrix_profile
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.parallel import parallel_stomp
@@ -48,7 +51,7 @@ class EngineSpec:
     """
 
     name: str
-    compute: Callable[[np.ndarray, int, Optional[int]], MatrixProfile]
+    compute: Callable[[FloatArray, int, Optional[int]], MatrixProfile]
     parallel: bool
     description: str
 
@@ -58,7 +61,7 @@ _REGISTRY: Dict[str, EngineSpec] = {}
 
 def register_engine(
     name: str,
-    compute: Callable[[np.ndarray, int, Optional[int]], MatrixProfile],
+    compute: Callable[[FloatArray, int, Optional[int]], MatrixProfile],
     parallel: bool = False,
     description: str = "",
 ) -> EngineSpec:
@@ -88,9 +91,14 @@ def get_engine(name: str) -> EngineSpec:
     return spec
 
 
+@require(
+    name=instance_of(str),
+    series=series_like(min_length=4),
+    length=positive_int(),
+)
 def compute_with(
     name: str,
-    series: np.ndarray,
+    series: FloatArray,
     length: int,
     n_jobs: Optional[int] = None,
 ) -> MatrixProfile:

@@ -25,11 +25,22 @@ from typing import Optional
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
 from repro.distance.sliding import moving_mean_std, validate_subsequence_length
 from repro.distance.znorm import CONSTANT_EPS, as_series
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import (
+    ensure,
+    no_nan_profile,
+    number_in,
+    optional,
+    positive_int,
+    require,
+    series_like,
+)
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 
@@ -37,12 +48,12 @@ __all__ = ["scrimp", "pre_scrimp"]
 
 
 def _diagonal_distances(
-    t: np.ndarray,
+    t: FloatArray,
     diag: int,
     length: int,
-    mu: np.ndarray,
-    sigma: np.ndarray,
-) -> np.ndarray:
+    mu: FloatArray,
+    sigma: FloatArray,
+) -> FloatArray:
     """Exact distances of every pair along diagonal ``diag`` (vectorized)."""
     n_subs = t.size - length + 1
     m = n_subs - diag  # number of pairs (i, i + diag)
@@ -66,8 +77,14 @@ def _diagonal_distances(
     return np.where(i_const & j_const, 0.0, dist)
 
 
+@require(
+    series=series_like(min_length=4),
+    length=positive_int(),
+    fraction=number_in(0.0, 1.0, open_low=True),
+)
+@ensure(no_nan_profile)
 def scrimp(
-    series: np.ndarray,
+    series: FloatArray,
     length: int,
     fraction: float = 1.0,
     rng: Optional[np.random.Generator] = None,
@@ -111,8 +128,14 @@ def scrimp(
     return MatrixProfile(profile=profile, index=index, length=length)
 
 
+@require(
+    series=series_like(min_length=4),
+    length=positive_int(),
+    stride=optional(positive_int()),
+)
+@ensure(no_nan_profile)
 def pre_scrimp(
-    series: np.ndarray,
+    series: FloatArray,
     length: int,
     stride: Optional[int] = None,
 ) -> MatrixProfile:
@@ -126,7 +149,9 @@ def pre_scrimp(
     t = as_series(series, min_length=4)
     n_subs = validate_subsequence_length(t.size, length)
     if stride is None:
-        stride = max(1, length // 2)
+        # PRE-SCRIMP's published sampling stride happens to be l/2 but it
+        # is a row-sampling rate, not a trivial-match zone.
+        stride = max(1, length // 2)  # repro-lint: ignore[R004]
     if stride <= 0:
         raise InvalidParameterError(f"stride must be positive, got {stride}")
     mu, sigma = moving_mean_std(t, length)

@@ -13,18 +13,35 @@ from typing import Optional
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
 from repro.distance.sliding import moving_mean_std, validate_subsequence_length
 from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import (
+    ensure,
+    no_nan_profile,
+    optional,
+    positive_int,
+    require,
+    series_like,
+)
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 
 __all__ = ["stamp"]
 
 
+@require(
+    series=series_like(min_length=4),
+    length=positive_int(),
+    max_rows=optional(positive_int()),
+)
+@ensure(no_nan_profile)
 def stamp(
-    series: np.ndarray,
+    series: FloatArray,
     length: int,
     max_rows: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
@@ -59,7 +76,9 @@ def stamp(
         order = rng.permutation(n_subs)
     if max_rows is not None:
         if max_rows <= 0:
-            raise ValueError(f"max_rows must be positive, got {max_rows}")
+            raise InvalidParameterError(
+                f"max_rows must be positive, got {max_rows}"
+            )
         order = order[:max_rows]
 
     for i in order:

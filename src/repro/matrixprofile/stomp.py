@@ -32,6 +32,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.types import FloatArray, IntArray
+
 from repro.distance.profile import apply_exclusion_zone, distance_profile_from_qt
 from repro.distance.sliding import (
     moving_mean_std,
@@ -40,6 +42,7 @@ from repro.distance.sliding import (
 )
 from repro.distance.znorm import CONSTANT_EPS, as_series
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import ensure, no_nan_profile, positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 
@@ -56,7 +59,7 @@ __all__ = [
 QT_DRIFT_TOL = 1e-9
 
 
-def exact_qt_row(series: np.ndarray, start: int, length: int) -> np.ndarray:
+def exact_qt_row(series: FloatArray, start: int, length: int) -> FloatArray:
     """Dot products of window ``start`` against every window, summed exactly.
 
     Direct correlation (no FFT) regardless of length: its error is local
@@ -67,8 +70,8 @@ def exact_qt_row(series: np.ndarray, start: int, length: int) -> np.ndarray:
 
 
 def stomp_reanchor_rows(
-    series: np.ndarray, length: int, sigma: np.ndarray
-) -> np.ndarray:
+    series: FloatArray, length: int, sigma: FloatArray
+) -> IntArray:
     """Rows at which the STOMP recurrence must be re-anchored.
 
     Tracks an upper bound on the per-row cancellation drift of the rolling
@@ -112,13 +115,13 @@ def stomp_reanchor_rows(
 
 
 def iterate_stomp_rows(
-    series: np.ndarray,
+    series: FloatArray,
     length: int,
-    mu: np.ndarray,
-    sigma: np.ndarray,
+    mu: FloatArray,
+    sigma: FloatArray,
     apply_exclusion: bool = True,
     row_range: Optional[Tuple[int, int]] = None,
-) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+) -> Iterator[Tuple[int, FloatArray, FloatArray]]:
     """Yield ``(i, qt, distance_profile)`` for every query ``i``.
 
     ``qt`` is the vector of dot products of query ``i`` against all
@@ -169,7 +172,9 @@ def iterate_stomp_rows(
         yield i, qt, profile
 
 
-def stomp(series: np.ndarray, length: int) -> MatrixProfile:
+@require(series=series_like(min_length=4), length=positive_int())
+@ensure(no_nan_profile)
+def stomp(series: FloatArray, length: int) -> MatrixProfile:
     """Compute the full matrix profile with STOMP."""
     t = as_series(series, min_length=4)
     n_subs = validate_subsequence_length(t.size, length)

@@ -14,14 +14,33 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.exceptions import InvalidParameterError
 
 __all__ = [
     "Motif",
     "MotifPair",
     "MotifSet",
     "length_normalized",
+    "FloatArray",
+    "IntArray",
+    "BoolArray",
+    "SeriesLike",
 ]
+
+#: 1-D float64 buffer — the dtype every kernel is calibrated for (R006).
+FloatArray = NDArray[np.float64]
+#: int64 index buffer (profile indices, neighbor offsets).
+IntArray = NDArray[np.int64]
+#: boolean mask over subsequence positions.
+BoolArray = NDArray[np.bool_]
+#: anything the public API accepts as a data series; the central
+#: validators convert it to a :data:`FloatArray`.
+SeriesLike = Union[FloatArray, Sequence[float]]
 
 
 def length_normalized(distance: float, length: int) -> float:
@@ -34,7 +53,7 @@ def length_normalized(distance: float, length: int) -> float:
     long); see Figure 2 of the paper.
     """
     if length <= 0:
-        raise ValueError(f"length must be positive, got {length}")
+        raise InvalidParameterError(f"length must be positive, got {length}")
     return distance * math.sqrt(1.0 / length)
 
 

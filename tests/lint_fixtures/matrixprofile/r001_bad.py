@@ -1,0 +1,6 @@
+"""Bad fixture for R001: sqrt over a correlation expression, no clip."""
+import numpy as np
+
+
+def dist_from_corr(corr, length):
+    return np.sqrt(2.0 * length * (1.0 - corr))

@@ -1,0 +1,7 @@
+"""Good fixture for R001: radicand clamped before the sqrt."""
+import numpy as np
+
+
+def dist_from_corr(corr, length):
+    np.clip(corr, -1.0, 1.0, out=corr)
+    return np.sqrt(np.maximum(2.0 * length * (1.0 - corr), 0.0))

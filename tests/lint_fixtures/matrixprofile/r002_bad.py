@@ -1,0 +1,6 @@
+"""Bad fixture for R002: raw division by a sigma-like denominator."""
+import numpy as np
+
+
+def normalize(qt, sigma, length):
+    return qt / (length * sigma)

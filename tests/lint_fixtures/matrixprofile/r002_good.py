@@ -1,0 +1,14 @@
+"""Good fixture for R002: the denominator is clamped away from zero."""
+import numpy as np
+
+EPS = 1e-13
+
+
+def normalize(qt, sigma, length):
+    safe = np.maximum(sigma, EPS)
+    return qt / (length * safe)
+
+
+def normalize_errstate(qt, sigma, length):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return qt / (length * sigma)

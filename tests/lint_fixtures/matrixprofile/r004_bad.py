@@ -1,0 +1,6 @@
+"""Bad fixture for R004: inline exclusion-zone arithmetic."""
+
+
+def trivial_zone(length):
+    zone = length // 2
+    return zone

@@ -1,0 +1,6 @@
+"""Good fixture for R004: the central helper owns the zone math."""
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+
+
+def trivial_zone(length):
+    return exclusion_zone_half_width(length)

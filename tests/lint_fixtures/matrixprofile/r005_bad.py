@@ -1,0 +1,11 @@
+"""Bad fixture for R005: set iteration order + lambda shipped to a pool."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run():
+    jobs = {3, 1, 2}
+    results = []
+    with ProcessPoolExecutor() as pool:
+        for job in jobs:
+            results.append(pool.submit(lambda: job))
+    return results

@@ -1,0 +1,13 @@
+"""Good fixture for R005: sorted iteration, module-level worker."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(job):
+    return job * 2
+
+
+def run():
+    jobs = sorted({3, 1, 2})
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_work, job) for job in jobs]
+    return [f.result() for f in futures]

@@ -1,0 +1,8 @@
+"""Bad fixture for R006: dtype-less allocation and a narrow float."""
+import numpy as np
+
+
+def allocate(n):
+    profile = np.empty(n)
+    small = np.zeros(n, dtype=np.float32)
+    return profile, small

@@ -1,0 +1,9 @@
+"""Good fixture for R006: every allocation pins its dtype."""
+import numpy as np
+
+
+def allocate(n):
+    profile = np.empty(n, dtype=np.float64)
+    index = np.full(n, -1, dtype=np.int64)
+    mask = np.zeros(n, dtype=bool)
+    return profile, index, mask

@@ -1,0 +1,8 @@
+"""Bad fixture for R003: bare ValueError and assert in library code."""
+
+
+def check(length):
+    if length <= 0:
+        raise ValueError(f"bad length {length}")
+    assert length < 10**9
+    return length

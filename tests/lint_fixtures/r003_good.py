@@ -1,0 +1,8 @@
+"""Good fixture for R003: errors go through the repro hierarchy."""
+from repro.exceptions import InvalidParameterError
+
+
+def check(length):
+    if length <= 0:
+        raise InvalidParameterError(f"bad length {length}")
+    return length

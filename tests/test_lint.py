@@ -1,0 +1,182 @@
+"""Tests for the repro.lint static analyzer.
+
+Each rule has a bad/good fixture pair under ``tests/lint_fixtures/``;
+kernel-scoped rules live in a ``matrixprofile/`` subdirectory so the
+path-based module classification kicks in.  The suite also self-checks
+that the shipped source tree lints clean — the same gate CI runs.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.lint import all_rules, lint_paths, lint_source
+from repro.lint.cli import format_rule_table, main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
+
+# rule id -> fixture path relative to FIXTURES, expected violation count
+BAD_FIXTURES = {
+    "R001": ("matrixprofile/r001_bad.py", 1),
+    "R002": ("matrixprofile/r002_bad.py", 1),
+    "R003": ("r003_bad.py", 2),
+    "R004": ("matrixprofile/r004_bad.py", 1),
+    "R005": ("matrixprofile/r005_bad.py", 2),
+    "R006": ("matrixprofile/r006_bad.py", 2),
+}
+GOOD_FIXTURES = {
+    "R001": "matrixprofile/r001_good.py",
+    "R002": "matrixprofile/r002_good.py",
+    "R003": "r003_good.py",
+    "R004": "matrixprofile/r004_good.py",
+    "R005": "matrixprofile/r005_good.py",
+    "R006": "matrixprofile/r006_good.py",
+}
+
+
+def rule_ids(diagnostics):
+    return [diag.rule_id for diag in diagnostics]
+
+
+class TestRuleRegistry:
+    def test_all_six_rules_registered(self):
+        assert tuple(rule.rule_id for rule in all_rules()) == RULE_IDS
+
+    def test_rules_carry_documentation(self):
+        for rule in all_rules():
+            assert rule.name, rule.rule_id
+            assert rule.summary, rule.rule_id
+            assert rule.rationale, rule.rule_id
+
+
+class TestBadFixtures:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_fixture_flags_expected_rule(self, rule_id):
+        rel, expected = BAD_FIXTURES[rule_id]
+        diagnostics = lint_paths([FIXTURES / rel])
+        assert rule_ids(diagnostics) == [rule_id] * expected
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_diagnostic_format_has_location_and_id(self, rule_id):
+        rel, _ = BAD_FIXTURES[rule_id]
+        diag = lint_paths([FIXTURES / rel])[0]
+        rendered = diag.format()
+        assert rule_id in rendered
+        assert Path(rel).name in rendered
+        # path:line:col: prefix
+        assert f":{diag.line}:{diag.col}:" in rendered
+
+
+class TestGoodFixtures:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_good_fixture_is_clean(self, rule_id):
+        diagnostics = lint_paths([FIXTURES / GOOD_FIXTURES[rule_id]])
+        assert diagnostics == []
+
+    def test_whole_fixture_tree_flags_only_bad_files(self):
+        diagnostics = lint_paths([FIXTURES])
+        assert all("_bad" in diag.path for diag in diagnostics)
+        assert sorted(set(rule_ids(diagnostics))) == sorted(RULE_IDS)
+
+
+class TestSelfCheck:
+    def test_shipped_source_tree_is_clean(self):
+        # The repo-wide gate: the analyzer must pass on its own codebase.
+        assert lint_paths([SRC]) == []
+
+
+class TestSelection:
+    def test_select_restricts_rules(self):
+        rel, _ = BAD_FIXTURES["R003"]
+        assert rule_ids(lint_paths([FIXTURES / rel], select=["R003"])) == [
+            "R003",
+            "R003",
+        ]
+        assert lint_paths([FIXTURES / rel], select=["R001"]) == []
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(InvalidParameterError):
+            lint_paths([FIXTURES], select=["R999"])
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_one_rule(self):
+        source = (
+            "def zone(length):\n"
+            "    return length // 2  # repro-lint: ignore[R004]\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+    def test_line_pragma_is_rule_specific(self):
+        source = (
+            "def zone(length):\n"
+            "    return length // 2  # repro-lint: ignore[R001]\n"
+        )
+        assert rule_ids(lint_source(source, path="matrixprofile/fake.py")) == [
+            "R004"
+        ]
+
+    def test_skip_file_pragma(self):
+        source = (
+            "# repro-lint: skip-file\n"
+            "def zone(length):\n"
+            "    return length // 2\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+
+class TestScoping:
+    def test_kernel_rules_ignore_non_kernel_paths(self):
+        source = "def zone(length):\n    return length // 2\n"
+        # Same code outside a kernel package: R004 does not apply.
+        assert lint_source(source, path="analysis/fake.py") == []
+
+    def test_syntax_error_becomes_diagnostic(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        diagnostics = lint_paths([broken])
+        assert rule_ids(diagnostics) == ["E000"]
+
+
+class TestCli:
+    def test_main_exit_zero_on_clean_path(self, capsys):
+        assert main([str(FIXTURES / GOOD_FIXTURES["R001"])]) == 0
+
+    def test_main_exit_one_with_diagnostics(self, capsys):
+        rel, _ = BAD_FIXTURES["R001"]
+        assert main([str(FIXTURES / rel)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "r001_bad.py" in out
+
+    def test_main_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_main_usage_error_on_unknown_rule(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--select", "R999", str(FIXTURES)])
+        assert excinfo.value.code == 2
+
+    def test_format_rule_table_has_header(self):
+        table = format_rule_table()
+        assert table.splitlines()[0].startswith("ID")
+
+    def test_module_entry_point(self):
+        # the exact invocation CI uses: python -m repro.lint <path>
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(FIXTURES / "r003_bad.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "R003" in proc.stdout
+        assert "violation(s) found" in proc.stderr
