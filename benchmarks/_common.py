@@ -8,9 +8,15 @@ Table-2 grid (see DESIGN.md); raise ``REPRO_BENCH_SCALE`` to run larger.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import tempfile
+import time
 from pathlib import Path
+from typing import Any, Dict
 
+from repro import obs
 from repro.harness.config import BenchmarkGrid, env_scale
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -74,12 +80,79 @@ def bench_dataset(name: str, n: int, seed: int = 0):
     return load_dataset(name, n, seed=seed, **kwargs)
 
 
+def _git_sha() -> str:
+    """The repo's HEAD commit, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def run_metadata() -> Dict[str, Any]:
+    """Provenance stamped into every persisted result file."""
+    return {
+        "git_sha": _git_sha(),
+        "repro_trace_env": os.environ.get(obs.TRACE_ENV),
+        "tracing_enabled": obs.enabled(),
+        "bench_scale": env_scale(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` without racing concurrent workers.
+
+    ``mkdir(parents=True, exist_ok=True)`` tolerates simultaneous
+    creation (plain ``mkdir(exist_ok=True)`` still raced on a missing
+    parent), and the tempfile + ``os.replace`` pair means readers never
+    observe a half-written file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_result_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Persist a machine-readable result with provenance metadata."""
+    merged = dict(payload)
+    merged["meta"] = run_metadata()
+    path = RESULTS_DIR / f"{name}.json"
+    _atomic_write(path, json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def save_report(name: str, text: str) -> None:
-    """Print a report and persist it under benchmarks/results/."""
+    """Print a report and persist it under benchmarks/results/.
+
+    When the :mod:`repro.obs` tracer is live, a ``<name>.trace.json``
+    sidecar with the full trace report is written next to the text.
+    """
     print(f"\n===== {name} =====")
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _atomic_write(RESULTS_DIR / f"{name}.txt", text + "\n")
+    if obs.enabled():
+        from repro.obs import build_report, report_to_json
+
+        _atomic_write(
+            RESULTS_DIR / f"{name}.trace.json",
+            report_to_json(build_report()) + "\n",
+        )
 
 
 def fast_mode() -> bool:

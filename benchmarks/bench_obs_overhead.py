@@ -1,0 +1,168 @@
+"""Observability overhead: disabled tracer cost on the kernel hot paths.
+
+Not a paper figure — the acceptance gate for the :mod:`repro.obs` layer.
+The instrumentation stays permanently in the kernels, so its *disabled*
+cost must be provably negligible.  The bench:
+
+1. measures the median wall-clock of STOMP and a VALMOD run with the
+   tracer disabled;
+2. counts every ``obs.add`` / ``obs.gauge`` / ``obs.span`` /
+   ``obs.enabled`` invocation those workloads perform (by wrapping the
+   module attributes, so the count is exact, not estimated);
+3. measures the per-call cost of each disabled primitive with ``timeit``;
+4. asserts ``sum(count * per_call) / median < 2%`` for each workload.
+
+The analytic product is an upper bound on the disabled overhead — a
+direct A/B timing cannot isolate it because the instrumentation cannot
+be compiled out of a pure-Python kernel.
+"""
+
+import statistics
+import time
+import timeit
+
+import pytest
+
+from _common import bench_dataset, fast_mode, save_report, save_result_json
+from repro import obs
+from repro.core.valmod import Valmod
+from repro.harness.reporting import format_table
+from repro.matrixprofile import stomp
+
+#: the acceptance threshold: disabled instrumentation must cost <2%.
+MAX_OVERHEAD = 0.02
+
+_PRIMITIVES = ("add", "gauge", "span", "enabled")
+
+
+def _bench_series():
+    n = 3000 if fast_mode() else 6000
+    return bench_dataset("ECG", n, seed=7)
+
+
+def _workloads(series):
+    length = max(16, series.size // 200)
+    return {
+        "stomp": lambda: stomp(series, length),
+        "valmod": lambda: Valmod(
+            series, length, length + 8, p=20
+        ).run(),
+    }
+
+
+def _count_primitive_calls(workload):
+    """Exact invocation counts of each obs primitive during one run.
+
+    Wraps the module attributes (every call site resolves ``obs.add`` at
+    call time), runs the workload with tracing *disabled* — the regime
+    being costed — then restores the originals.  Worker processes are
+    not observed, so workloads must stay serial.
+    """
+    counts = dict.fromkeys(_PRIMITIVES, 0)
+    originals = {name: getattr(obs, name) for name in _PRIMITIVES}
+
+    def wrap(name):
+        real = originals[name]
+
+        def wrapper(*args, **kwargs):
+            counts[name] += 1
+            return real(*args, **kwargs)
+
+        return wrapper
+
+    try:
+        for name in _PRIMITIVES:
+            setattr(obs, name, wrap(name))
+        with obs.tracing(False):
+            workload()
+    finally:
+        for name, real in originals.items():
+            setattr(obs, name, real)
+    return counts
+
+
+def _per_call_seconds():
+    """Disabled cost of one call to each primitive, via timeit."""
+    number = 20_000
+    with obs.tracing(False):
+        clock = {
+            "add": timeit.timeit(lambda: obs.add("bench.probe"), number=number),
+            "gauge": timeit.timeit(
+                lambda: obs.gauge("bench.probe", 1.0), number=number
+            ),
+            "span": timeit.timeit(
+                lambda: obs.span("bench.probe").__enter__(), number=number
+            ),
+            "enabled": timeit.timeit(obs.enabled, number=number),
+        }
+    obs.reset()
+    return {name: seconds / number for name, seconds in clock.items()}
+
+
+def _disabled_median(workload, rounds):
+    samples = []
+    with obs.tracing(False):
+        for _ in range(rounds):
+            start = time.perf_counter()
+            workload()
+            samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_obs_overhead_disabled(benchmark):
+    series = _bench_series()
+    workloads = _workloads(series)
+    rounds = 3 if fast_mode() else 5
+    per_call = _per_call_seconds()
+
+    def measure():
+        table = {}
+        for name, workload in workloads.items():
+            median = _disabled_median(workload, rounds)
+            counts = _count_primitive_calls(workload)
+            cost = sum(counts[p] * per_call[p] for p in _PRIMITIVES)
+            table[name] = {
+                "median_seconds": median,
+                "counts": counts,
+                "estimated_overhead_seconds": cost,
+                "overhead_fraction": cost / median,
+            }
+        return table
+
+    table = benchmark.pedantic(measure, iterations=1, rounds=1)
+
+    rows = []
+    for name, entry in table.items():
+        rows.append(
+            (
+                name,
+                f"{entry['median_seconds']:.4f}",
+                sum(entry["counts"].values()),
+                f"{entry['estimated_overhead_seconds'] * 1e6:.1f}us",
+                f"{entry['overhead_fraction']:.5%}",
+            )
+        )
+    save_report(
+        "obs_overhead",
+        format_table(
+            ["workload", "median (s)", "obs calls", "overhead", "fraction"],
+            rows,
+        )
+        + f"\nper-call (ns): "
+        + " ".join(f"{p}={per_call[p] * 1e9:.0f}" for p in _PRIMITIVES),
+    )
+    save_result_json(
+        "BENCH_obs_overhead",
+        {
+            "bench": "obs_overhead",
+            "max_overhead": MAX_OVERHEAD,
+            "per_call_seconds": per_call,
+            "workloads": table,
+        },
+    )
+
+    for name, entry in table.items():
+        assert entry["overhead_fraction"] < MAX_OVERHEAD, (
+            f"{name}: disabled obs overhead {entry['overhead_fraction']:.3%} "
+            f"exceeds {MAX_OVERHEAD:.0%}"
+        )

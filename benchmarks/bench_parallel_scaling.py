@@ -12,14 +12,13 @@ size and ``REPRO_BENCH_SCALE`` rescales.  Speedups are only meaningful
 on a machine with as many idle cores as the largest worker count.
 """
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
-from _common import RESULTS_DIR, bench_dataset, fast_mode, save_report
+from _common import bench_dataset, fast_mode, save_report, save_result_json
 from repro.harness.reporting import format_table
 from repro.matrixprofile import parallel_stomp, stomp
 
@@ -84,7 +83,4 @@ def test_parallel_scaling(benchmark, series):
         format_table(["n_jobs", "seconds", "speedup vs 1 worker"], report_rows)
         + f"\nseries={series.size} length={length} cpus={os.cpu_count()}",
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_parallel_scaling.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    save_result_json("BENCH_parallel_scaling", payload)

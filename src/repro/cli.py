@@ -9,6 +9,11 @@ Subcommands
 ``sets``     run the full Problem-2 pipeline (VALMOD + motif sets).
 ``datasets`` list the synthetic dataset families and their statistics.
 ``bench``    run one of the figure sweeps at a small scale.
+
+Every subcommand accepts ``--trace`` (plus ``--trace-format`` /
+``--trace-out``): the run executes with the :mod:`repro.obs` tracer
+enabled and a trace report — pruning-power counters, listDP hit rates,
+kernel call counts, stage timings — is emitted after the normal output.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.stats import dataset_statistics
 from repro.core.motif_sets import find_motif_sets, motif_set_summary
 from repro.core.ranking import top_motifs_across_lengths
@@ -71,6 +77,27 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         default=1,
         dest="n_jobs",
         help="worker processes for parallel engines (0 = all CPUs, default 1)",
+    )
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record repro.obs counters/spans and emit a trace report",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=["json", "pretty"],
+        default="json",
+        dest="trace_format",
+        help="trace report rendering (default json)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        help="write the trace report to this file instead of stdout",
     )
 
 
@@ -159,6 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["VALMOD", "STOMP", "MOEN", "QUICKMOTIF"],
     )
     _add_jobs_argument(bench)
+    for sub_parser in set(sub.choices.values()):
+        _add_trace_arguments(sub_parser)
     return parser
 
 
@@ -287,6 +316,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_trace(args: argparse.Namespace) -> None:
+    """Render the recorded trace as JSON or a pretty table."""
+    from repro.obs import build_report, format_report, report_to_json
+
+    report = build_report()
+    text = (
+        format_report(report)
+        if args.trace_format == "pretty"
+        else report_to_json(report)
+    )
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"# trace report written to {args.trace_out}")
+    else:
+        print(text)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -299,11 +346,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
     }
-    try:
-        return handlers[args.command](args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+
+    def dispatch() -> int:
+        try:
+            return handlers[args.command](args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if not getattr(args, "trace", False):
+        return dispatch()
+    with obs.tracing(True):
+        obs.reset()
+        code = dispatch()
+        # Emit even on failure: a partial trace is still attributable.
+        _emit_trace(args)
+    return code
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray
 
 from repro.core.entries import EntryStore
@@ -112,11 +113,18 @@ def _fill_block(
 
 
 def _block_worker(task):
-    """Worker-process entry: evaluate one row block from shared memory."""
-    name, n, length, p, start, stop, untrack = task
+    """Worker-process entry: evaluate one row block from shared memory.
+
+    Returns the block result plus the worker's tracer snapshot (None
+    when tracing is off) so the parent can aggregate listDP counters.
+    """
+    name, n, length, p, start, stop, untrack, trace = task
+    obs.worker_begin(trace)
     shm, t = _attach(name, (n,), "float64", untrack)
     try:
-        return (start, stop) + _fill_block(t.copy(), length, p, start, stop)
+        with obs.span("compute_mp/block"):
+            block = _fill_block(t.copy(), length, p, start, stop)
+        return (start, stop) + block + (obs.worker_snapshot(),)
     finally:
         shm.close()
 
@@ -140,9 +148,12 @@ def compute_matrix_profile(
     store = EntryStore.empty(n_subs, p, length)
     profile = np.empty(n_subs, dtype=np.float64)
     index = np.empty(n_subs, dtype=np.int64)
+    obs.add("compute_mp.rows", n_subs)
 
     if len(blocks) <= 1:
-        prof, idx, nb, qt, lb = _fill_block(t, length, p, 0, n_subs)
+        with obs.span("compute_mp"):
+            with obs.span("block"):
+                prof, idx, nb, qt, lb = _fill_block(t, length, p, 0, n_subs)
         profile[:] = prof
         index[:] = idx
         store.neighbor[:] = nb
@@ -155,20 +166,22 @@ def compute_matrix_profile(
         ctx = _preferred_context()
         untrack = ctx.get_start_method() != "fork"
         tasks = [
-            (shm.name, t.size, length, p, start, stop, untrack)
+            (shm.name, t.size, length, p, start, stop, untrack, obs.enabled())
             for start, stop in blocks
         ]
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(blocks)), mp_context=ctx
-        ) as pool:
-            for start, stop, prof, idx, nb, qt, lb in pool.map(
-                _block_worker, tasks
-            ):
-                profile[start:stop] = prof
-                index[start:stop] = idx
-                store.neighbor[start:stop] = nb
-                store.qt[start:stop] = qt
-                store.lb_base[start:stop] = lb
+        with obs.span("compute_mp"):
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(blocks)), mp_context=ctx
+            ) as pool:
+                for start, stop, prof, idx, nb, qt, lb, trace in pool.map(
+                    _block_worker, tasks
+                ):
+                    profile[start:stop] = prof
+                    index[start:stop] = idx
+                    store.neighbor[start:stop] = nb
+                    store.qt[start:stop] = qt
+                    store.lb_base[start:stop] = lb
+                    obs.merge(trace)
     finally:
         shm.close()
         try:

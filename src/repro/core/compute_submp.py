@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.types import BoolArray, FloatArray, IntArray
 
 from repro.core.entries import EntryStore
@@ -119,7 +120,8 @@ def compute_submp(
         raise InvalidParameterError(
             f"length {new_length} leaves fewer than two subsequences"
         )
-    store.advance_to(new_length, t)
+    with obs.span("submp.advance"):
+        store.advance_to(new_length, t)
     mu, sigma = moving_mean_std(t, new_length)
     zone = exclusion_zone_half_width(new_length)
 
@@ -129,6 +131,14 @@ def compute_submp(
     real = nb >= 0
     in_range = real & (nb <= n - new_length)
     usable = in_range & (np.abs(nb - rows) >= zone)
+    if obs.enabled():
+        # A "lookup" is one stored listDP slot consulted at this length;
+        # a "hit" is a slot still usable (in range, outside the zone).
+        slots = int(nb.size)
+        hits = int(usable.sum())
+        obs.add("listdp.lookups", slots)
+        obs.add("listdp.hits", hits)
+        obs.add("listdp.misses", slots - hits)
 
     dist = _pairwise_distances(qt, nb, usable, in_range, mu, sigma, new_length)
     lb = np.asarray(
@@ -143,6 +153,16 @@ def compute_submp(
     ind = np.take_along_axis(nb, arg[:, None], axis=1).ravel()
 
     valid = min_dist < max_lb
+    n_valid = int(valid.sum())
+    if obs.enabled():
+        # Fig. 9's pruning power is valid/total: the fraction of profiles
+        # whose minimum the lower bounds certify without recomputation.
+        obs.add("submp.profiles.total", n_dp)
+        obs.add(f"submp.profiles.total.l{new_length}", n_dp)
+        obs.add("submp.profiles.valid", n_valid)
+        obs.add(f"submp.profiles.valid.l{new_length}", n_valid)
+        obs.add("submp.profiles.invalid", n_dp - n_valid)
+        obs.add(f"submp.profiles.invalid.l{new_length}", n_dp - n_valid)
     sub_profile = np.full(n_dp, np.nan, dtype=np.float64)
     index = np.full(n_dp, -1, dtype=np.int64)
     sub_profile[valid] = min_dist[valid]
@@ -177,39 +197,44 @@ def compute_submp(
         # profiles in ascending maxLB order; stop as soon as the bound
         # proves no remaining profile can beat the best-so-far.
         positions = np.arange(n_dp)
-        for r in needing[np.argsort(max_lb[needing])]:
-            if max_lb[r] >= best_distance:
-                break
-            r = int(r)
-            qt_row = sliding_dot_product(t[r : r + new_length], t)
-            row_dp = mass_with_stats(t, r, new_length, mu, sigma, qt=qt_row)
-            apply_exclusion_zone(row_dp, r, zone)
-            j = int(np.argmin(row_dp))
-            sub_profile[r] = row_dp[j] if np.isfinite(row_dp[j]) else np.nan
-            index[r] = j if np.isfinite(row_dp[j]) else -1
-            if row_dp[j] < best_distance:
-                best_distance = float(row_dp[j])
-                best_pair = (r, j)
-            # Rebuild this profile's listDP row at the new base length so
-            # later steps keep pruning (Algorithm 4, line 34).
-            corr_row = correlation_from_qt(
-                qt_row,
-                new_length,
-                float(mu[r]),
-                max(float(sigma[r]), CONSTANT_EPS),
-                mu,
-                sigma,
-            )
-            store.fill_row(
-                r,
-                qt_row,
-                corr_row,
-                float(sigma[r]),
-                new_length,
-                np.abs(positions - r) >= zone,
-            )
-            n_recomputed += 1
+        with obs.span("submp.recompute"):
+            for r in needing[np.argsort(max_lb[needing])]:
+                if max_lb[r] >= best_distance:
+                    break
+                r = int(r)
+                qt_row = sliding_dot_product(t[r : r + new_length], t)
+                row_dp = mass_with_stats(t, r, new_length, mu, sigma, qt=qt_row)
+                apply_exclusion_zone(row_dp, r, zone)
+                j = int(np.argmin(row_dp))
+                sub_profile[r] = row_dp[j] if np.isfinite(row_dp[j]) else np.nan
+                index[r] = j if np.isfinite(row_dp[j]) else -1
+                if row_dp[j] < best_distance:
+                    best_distance = float(row_dp[j])
+                    best_pair = (r, j)
+                # Rebuild this profile's listDP row at the new base length
+                # so later steps keep pruning (Algorithm 4, line 34).
+                corr_row = correlation_from_qt(
+                    qt_row,
+                    new_length,
+                    float(mu[r]),
+                    max(float(sigma[r]), CONSTANT_EPS),
+                    mu,
+                    sigma,
+                )
+                store.fill_row(
+                    r,
+                    qt_row,
+                    corr_row,
+                    float(sigma[r]),
+                    new_length,
+                    np.abs(positions - r) >= zone,
+                )
+                n_recomputed += 1
         found = True
+
+    if obs.enabled():
+        obs.add("submp.profiles.recomputed", n_recomputed)
+        obs.add(f"submp.profiles.recomputed.l{new_length}", n_recomputed)
 
     return SubMPResult(
         length=new_length,
@@ -218,7 +243,7 @@ def compute_submp(
         found_motif=found,
         best_distance=best_distance,
         best_pair=best_pair,
-        n_valid=int(valid.sum()),
+        n_valid=n_valid,
         n_invalid=int(invalid_rows.size),
         n_recomputed=n_recomputed,
         min_dist=min_dist,

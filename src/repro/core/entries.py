@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.types import BoolArray, FloatArray, IntArray
 
 from repro.core.lower_bound import lower_bound_base
@@ -113,6 +114,9 @@ class EntryStore:
             picked = np.arange(n_candidates)
         picked = picked[np.isfinite(base[picked])]
         count = picked.size
+        if obs.enabled():
+            obs.add("listdp.rows_filled")
+            obs.add("listdp.entries_stored", int(count))
         self.neighbor[row, :count] = picked
         self.neighbor[row, count:] = -1
         self.qt[row, :count] = qt_row[picked]
@@ -143,6 +147,8 @@ class EntryStore:
             )
         nb = self.neighbor[:n_rows]
         in_range = (nb >= 0) & (nb <= n - new_length)
+        if obs.enabled():
+            obs.add("listdp.entries_advanced", int(in_range.sum()))
         rows = np.arange(n_rows)[:, None]
         safe_nb = np.where(in_range, nb, 0)
         increment = t[safe_nb + new_length - 1] * t[rows + new_length - 1]

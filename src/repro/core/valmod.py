@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.compute_mp import compute_matrix_profile
 from repro.core.compute_submp import compute_submp
 from repro.core.entries import EntryStore
@@ -106,6 +107,12 @@ class Valmod:
         length and every full recompute).  ``1`` (default) stays
         in-process; ``None``/``0`` uses all CPUs.  Results are identical
         for every value.
+    trace:
+        Observability switch (see :mod:`repro.obs`).  ``True`` records
+        counters/spans during :meth:`run` regardless of ``REPRO_TRACE``;
+        ``False`` silences an env-enabled tracer; ``None`` (default)
+        leaves the global tracer's state untouched.  Results are
+        bitwise identical either way.
     """
 
     def __init__(
@@ -119,6 +126,7 @@ class Valmod:
         lb_pruning: bool = True,
         keep_margins: bool = False,
         n_jobs: Optional[int] = 1,
+        trace: Optional[bool] = None,
     ) -> None:
         self.series = as_series(series, min_length=8)
         if l_min > l_max:
@@ -137,11 +145,18 @@ class Valmod:
         self.lb_pruning = bool(lb_pruning)
         self.keep_margins = bool(keep_margins)
         self.n_jobs = n_jobs
+        self.trace = trace
         self._store: Optional[EntryStore] = None
         self._stats_cache: Optional[tuple] = None  # (length, mu, sigma)
 
     def run(self) -> ValmodResult:
         """Execute Algorithm 1 over the configured length range."""
+        if self.trace is None:
+            return self._run()
+        with obs.tracing(self.trace):
+            return self._run()
+
+    def _run(self) -> ValmodResult:
         t = self.series
         n_profiles = t.size - self.l_min + 1
         valmp = VALMP(n_profiles, track_top_k=self.track_top_k)
@@ -149,7 +164,11 @@ class Valmod:
         motif_pairs: Dict[int, MotifPair] = {}
 
         start = time.perf_counter()
-        mp, store = compute_matrix_profile(t, self.l_min, self.p, n_jobs=self.n_jobs)
+        with obs.span("valmod.initial"):
+            mp, store = compute_matrix_profile(
+                t, self.l_min, self.p, n_jobs=self.n_jobs
+            )
+        obs.add("valmod.lengths.initial")
         self._store = store
         improved = valmp.update(mp.profile, mp.index, self.l_min)
         valmp.record_pairs(improved, self.l_min, self._snapshot)
@@ -171,9 +190,10 @@ class Valmod:
             if not self.lb_pruning:
                 self._full_recompute(length, valmp, motif_pairs, stats, start)
                 continue
-            result = compute_submp(
-                t, store, length, recompute_fraction=self.recompute_fraction
-            )
+            with obs.span("valmod.step"):
+                result = compute_submp(
+                    t, store, length, recompute_fraction=self.recompute_fraction
+                )
             if result.found_motif:
                 improved = valmp.update(result.sub_profile, result.index, length)
                 valmp.record_pairs(improved, length, self._snapshot)
@@ -185,6 +205,7 @@ class Valmod:
                         result.best_distance,
                     )
                 mode = "submp-partial" if result.n_recomputed else "submp"
+                obs.add(f"valmod.lengths.{mode}")
                 stats.add(
                     LengthStats(
                         length=length,
@@ -224,7 +245,11 @@ class Valmod:
         start: float,
     ) -> None:
         """Algorithm 1, line 13: rebuild the matrix profile and listDP."""
-        mp, store = compute_matrix_profile(self.series, length, self.p, n_jobs=self.n_jobs)
+        with obs.span("valmod.full_recompute"):
+            mp, store = compute_matrix_profile(
+                self.series, length, self.p, n_jobs=self.n_jobs
+            )
+        obs.add("valmod.lengths.full-recompute")
         self._store = store
         improved = valmp.update(mp.profile, mp.index, length)
         valmp.record_pairs(improved, length, self._snapshot)
@@ -297,6 +322,7 @@ class Valmod:
     p=positive_int(),
     track_top_k=int_at_least(0),
     n_jobs=optional(instance_of(int)),
+    trace=optional(instance_of(bool)),
 )
 def valmod(
     series: FloatArray,
@@ -305,6 +331,7 @@ def valmod(
     p: int = DEFAULT_P,
     track_top_k: int = 0,
     n_jobs: Optional[int] = 1,
+    trace: Optional[bool] = None,
 ) -> ValmodResult:
     """Functional entry point: run VALMOD with default settings.
 
@@ -318,5 +345,6 @@ def valmod(
     >>> pair = result.best_motif_pair()
     """
     return Valmod(
-        series, l_min, l_max, p=p, track_top_k=track_top_k, n_jobs=n_jobs
+        series, l_min, l_max, p=p, track_top_k=track_top_k, n_jobs=n_jobs,
+        trace=trace,
     ).run()

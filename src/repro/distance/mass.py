@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray
 
 from repro.distance.profile import distance_profile_from_qt
@@ -58,6 +59,7 @@ def mass_with_stats(
         raise InvalidParameterError(
             f"query start {start} out of range for {n_subs} subsequences"
         )
+    obs.add("mass.profile_calls")
     if qt is None:
         qt = sliding_dot_product(t[start : start + length], t)
     return distance_profile_from_qt(

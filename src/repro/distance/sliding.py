@@ -20,6 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray
 
 from repro.exceptions import InvalidParameterError
@@ -54,7 +55,9 @@ def sliding_dot_product(query: FloatArray, series: FloatArray) -> FloatArray:
         )
     if m <= 64:
         # Direct correlation: exact and fast for short queries.
+        obs.add("mass.direct_dot_calls")
         return np.correlate(t, q, mode="valid")
+    obs.add("mass.fft_calls")
     size = 1 << int(np.ceil(np.log2(n + m)))
     fq = np.fft.rfft(q[::-1], size)
     ft = np.fft.rfft(t, size)

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.moen import moen
 from repro.baselines.quick_motif import quick_motif
 from repro.baselines.stomp_range import stomp_range
@@ -33,10 +34,24 @@ class RunOutcome:
     seconds: float
     dnf: bool
     motif_pairs: Optional[Dict[int, MotifPair]] = None
+    #: per-run counter deltas from :mod:`repro.obs` (None when tracing is
+    #: off) — the counters this run added, not the process totals.
+    trace: Optional[Dict[str, Any]] = None
 
     def cell(self) -> str:
         """Render as a benchmark table cell."""
         return "DNF" if self.dnf else f"{self.seconds:.2f}s"
+
+
+def _counter_delta(
+    before: Dict[str, int], after: Dict[str, int]
+) -> Dict[str, int]:
+    """Counters added between two snapshots (new keys appear whole)."""
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
 
 
 def _run_valmod(
@@ -115,17 +130,29 @@ def run_algorithm(
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; choose from {', '.join(ALGORITHMS)}"
         )
+    tracing = obs.enabled()
+    before = obs.get_tracer().counters() if tracing else {}
     start = time.perf_counter()
     deadline = start + timeout_seconds
+
+    def _trace() -> Optional[Dict[str, Any]]:
+        if not tracing:
+            return None
+        return _counter_delta(before, obs.get_tracer().counters())
+
     try:
         pairs = ALGORITHMS[name](series, l_min, l_max, p, deadline, n_jobs=n_jobs)
     except BudgetExceededError:
         return RunOutcome(
-            algorithm=name, seconds=time.perf_counter() - start, dnf=True
+            algorithm=name,
+            seconds=time.perf_counter() - start,
+            dnf=True,
+            trace=_trace(),
         )
     return RunOutcome(
         algorithm=name,
         seconds=time.perf_counter() - start,
         dnf=False,
         motif_pairs=pairs,
+        trace=_trace(),
     )

@@ -1,4 +1,4 @@
-"""Rule registry: one module per kernel invariant, R001–R006."""
+"""Rule registry: one module per kernel invariant, R001–R007."""
 
 from __future__ import annotations
 
@@ -11,6 +11,7 @@ from repro.lint.rules.r003_exceptions import ExceptionHierarchyRule
 from repro.lint.rules.r004_exclusion import ExclusionZoneRule
 from repro.lint.rules.r005_determinism import WorkerDeterminismRule
 from repro.lint.rules.r006_dtype import DtypeDisciplineRule
+from repro.lint.rules.r007_obs_layering import ObsLayeringRule
 
 __all__ = ["all_rules"]
 
@@ -24,4 +25,5 @@ def all_rules() -> List[Rule]:
         ExclusionZoneRule(),
         WorkerDeterminismRule(),
         DtypeDisciplineRule(),
+        ObsLayeringRule(),
     ]

@@ -1,0 +1,98 @@
+"""R007: keep the observability layer out of the foundation modules.
+
+:mod:`repro.obs` is imported by every kernel, so it must sit at the
+bottom of the dependency graph: it may import only the standard library
+and :mod:`repro.exceptions`.  Conversely the foundation modules
+(``repro.types``, ``repro.exceptions``) must never import ``repro.obs``
+— either direction would create an import cycle that manifests as a
+partially-initialized package at interpreter start, the least debuggable
+failure mode Python has.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.base import Diagnostic, FileContext, Rule
+
+#: module stems that form the import-graph foundation.
+_FOUNDATION_STEMS = frozenset({"types", "exceptions"})
+
+#: the only repro packages an obs module may import from.
+_OBS_ALLOWED_PREFIXES = ("repro.obs", "repro.exceptions")
+
+
+def _is_obs_module(ctx: FileContext) -> bool:
+    parts = ctx.module_parts
+    return "obs" in parts[:-1] or parts[-1] == "obs"
+
+
+def _is_foundation_module(ctx: FileContext) -> bool:
+    return ctx.module_parts[-1] in _FOUNDATION_STEMS
+
+
+def _imported_names(tree: ast.AST) -> Iterator[Tuple[ast.stmt, str]]:
+    """Every absolute dotted module name a file imports.
+
+    ``from repro import obs`` is expanded to ``repro.obs`` (and likewise
+    for any ``from <pkg> import <sub>``), so aliasing cannot hide a
+    layering violation.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            # yield only the expanded names: ``from repro import obs`` is
+            # an import of repro.obs, not of the whole repro package.
+            for alias in node.names:
+                yield node, f"{node.module}.{alias.name}"
+
+
+def _matches(name: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        name == prefix or name.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+class ObsLayeringRule(Rule):
+    rule_id = "R007"
+    name = "obs-layering"
+    summary = "repro.obs imports only stdlib + repro.exceptions; foundations never import it"
+    rationale = (
+        "obs is imported by every kernel, so an obs -> kernel or "
+        "types/exceptions -> obs edge closes an import cycle that breaks "
+        "interpreter start with a partially-initialized package"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return _is_obs_module(ctx) or _is_foundation_module(ctx)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        obs_module = _is_obs_module(ctx)
+        flagged: List[int] = []
+        for node, name in _imported_names(ctx.tree):
+            if node.lineno in flagged:
+                continue  # one diagnostic per import statement
+            if obs_module:
+                if name == "repro" or (
+                    name.startswith("repro.")
+                    and not _matches(name, _OBS_ALLOWED_PREFIXES)
+                ):
+                    flagged.append(node.lineno)
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"obs module imports {name}; repro.obs may import "
+                        "only the standard library and repro.exceptions",
+                    )
+            elif _matches(name, ("repro.obs",)):
+                flagged.append(node.lineno)
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"foundation module {ctx.module_parts[-1]} imports "
+                    f"{name}; types/exceptions must stay below the "
+                    "observability layer",
+                )

@@ -13,7 +13,7 @@ import math
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["exclusion_zone_half_width", "is_trivial_match"]
+__all__ = ["contributing_cells", "exclusion_zone_half_width", "is_trivial_match"]
 
 
 def exclusion_zone_half_width(length: int) -> int:
@@ -31,3 +31,23 @@ def exclusion_zone_half_width(length: int) -> int:
 def is_trivial_match(i: int, j: int, length: int) -> bool:
     """True when windows ``i`` and ``j`` of length ``l`` trivially match."""
     return abs(i - j) < exclusion_zone_half_width(length)
+
+
+def contributing_cells(n_subs: int, zone: int) -> int:
+    """Number of ordered pairs ``(i, j)`` with ``|i - j| >= zone``.
+
+    The engine-independent work measure behind the ``engine.cells``
+    trace counter: every exact full-profile engine — row-order STOMP,
+    MASS-per-row STAMP, diagonal-order SCRIMP, chunked parallel STOMP —
+    evaluates exactly these cells of the distance matrix, so the counter
+    is comparable across engines by construction.  Closed form
+    ``k (k + 1)`` with ``k = n_subs - zone`` (each of the ``k`` upper
+    diagonals ``d in [zone, n_subs)`` holds ``n_subs - d`` pairs, seen
+    from both sides).
+    """
+    if n_subs < 0:
+        raise InvalidParameterError(f"n_subs must be non-negative, got {n_subs}")
+    if zone <= 0:
+        raise InvalidParameterError(f"zone must be positive, got {zone}")
+    k = n_subs - zone
+    return k * (k + 1) if k > 0 else 0

@@ -52,6 +52,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray, IntArray
 
 from repro.distance.sliding import (
@@ -70,7 +71,7 @@ from repro.lint.contracts import (
     require,
     series_like,
 )
-from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.exclusion import contributing_cells, exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.stomp import exact_qt_row, stomp_reanchor_rows
 
@@ -343,11 +344,13 @@ def _attach(name: str, shape: Tuple[int, ...], dtype: str, untrack: bool):
     return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
 
 
-def _chunk_worker(task) -> int:
+def _chunk_worker(task):
     """Evaluate one diagonal chunk against shared-memory inputs.
 
     Runs in a worker process.  Writes the chunk's min-profile into slot
-    ``slot`` of the shared output slabs and returns the slot id.
+    ``slot`` of the shared output slabs and returns ``(slot, trace)``
+    where ``trace`` is the worker's tracer snapshot (None when tracing
+    is off — see :func:`repro.obs.worker_begin`).
     """
     (
         slot,
@@ -360,7 +363,9 @@ def _chunk_worker(task) -> int:
         n_anchors,
         n_slots,
         untrack,
+        trace,
     ) = task
+    obs.worker_begin(trace)
     blocks = []
     try:
         shm_t, t = _attach(names["t"], (n,), "float64", untrack)
@@ -381,12 +386,13 @@ def _chunk_worker(task) -> int:
             names["index"], (n_slots, n_subs), "int64", untrack
         )
         blocks.append(shm_i)
-        prof, idx = diagonal_chunk_min_profile(
-            t, length, mu, sigma, qt_first, anchors, d_lo, d_hi
-        )
+        with obs.span("engine.parallel-stomp/chunk"):
+            prof, idx = diagonal_chunk_min_profile(
+                t, length, mu, sigma, qt_first, anchors, d_lo, d_hi
+            )
         out_profile[slot] = prof
         out_index[slot] = idx
-        return slot
+        return slot, obs.worker_snapshot()
     finally:
         for shm in blocks:
             shm.close()
@@ -447,14 +453,25 @@ def parallel_stomp(
             length=length,
         )
 
+    if obs.enabled():
+        obs.add("engine.rows", n_subs)
+        obs.add("engine.cells", contributing_cells(n_subs, zone))
+        obs.add("parallel.chunks", len(ranges))
+        obs.add("parallel.qt_reanchor_rows", int(anchors.size))
+
     if jobs == 1 or len(ranges) == 1:
-        parts = [
-            diagonal_chunk_min_profile(
-                t, length, mu, sigma, qt_first, anchors, d_lo, d_hi
+        with obs.span("engine.parallel-stomp"):
+            parts = []
+            for d_lo, d_hi in ranges:
+                with obs.span("chunk"):
+                    parts.append(
+                        diagonal_chunk_min_profile(
+                            t, length, mu, sigma, qt_first, anchors, d_lo, d_hi
+                        )
+                    )
+            profile, index = merge_profiles(
+                [p for p, _ in parts], [i for _, i in parts]
             )
-            for d_lo, d_hi in ranges
-        ]
-        profile, index = merge_profiles([p for p, _ in parts], [i for _, i in parts])
         return MatrixProfile(profile=profile, index=index, length=length)
 
     n_slots = len(ranges)
@@ -501,23 +518,30 @@ def parallel_stomp(
                 anchors.size,
                 n_slots,
                 untrack,
+                obs.enabled(),
             )
             for slot, (d_lo, d_hi) in enumerate(ranges)
         ]
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, n_slots), mp_context=ctx
-        ) as pool:
-            done = list(pool.map(_chunk_worker, tasks))
-        if sorted(done) != list(range(n_slots)):  # pragma: no cover
-            raise RuntimeError("parallel chunk workers did not all complete")
-        slab_p = np.ndarray((n_slots, n_subs), dtype=np.float64, buffer=out_p.buf)
-        slab_i = np.ndarray((n_slots, n_subs), dtype=np.int64, buffer=out_i.buf)
-        # Merge in deterministic chunk order, copying out of shared memory
-        # before the blocks are torn down.
-        profile, index = merge_profiles(
-            [slab_p[k].copy() for k in range(n_slots)],
-            [slab_i[k].copy() for k in range(n_slots)],
-        )
+        with obs.span("engine.parallel-stomp"):
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, n_slots), mp_context=ctx
+            ) as pool:
+                done = []
+                for slot, trace in pool.map(_chunk_worker, tasks):
+                    done.append(slot)
+                    obs.merge(trace)
+            if sorted(done) != list(range(n_slots)):  # pragma: no cover
+                raise RuntimeError("parallel chunk workers did not all complete")
+            slab_p = np.ndarray(
+                (n_slots, n_subs), dtype=np.float64, buffer=out_p.buf
+            )
+            slab_i = np.ndarray((n_slots, n_subs), dtype=np.int64, buffer=out_i.buf)
+            # Merge in deterministic chunk order, copying out of shared memory
+            # before the blocks are torn down.
+            profile, index = merge_profiles(
+                [slab_p[k].copy() for k in range(n_slots)],
+                [slab_i[k].copy() for k in range(n_slots)],
+            )
     finally:
         for shm in shms:
             shm.close()

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray
 
 from repro.distance.mass import mass_with_stats
@@ -113,18 +114,26 @@ def scrimp(
     if rng is not None:
         diagonals = rng.permutation(diagonals)
     budget = max(1, int(round(fraction * diagonals.size)))
-    for diag in diagonals[:budget]:
-        diag = int(diag)
-        dist = _diagonal_distances(t, diag, length, mu, sigma)
-        m = dist.size
-        rows = np.arange(m)
-        cols = rows + diag
-        better_row = dist < profile[:m]
-        profile[rows[better_row]] = dist[better_row]
-        index[rows[better_row]] = cols[better_row]
-        better_col = dist < profile[diag:]
-        profile[cols[better_col]] = dist[better_col]
-        index[cols[better_col]] = rows[better_col]
+    if obs.enabled():
+        # Each visited diagonal d holds n_subs - d pairs, seen from both
+        # sides; a full run sums to the shared k(k+1) cell count.
+        visited = diagonals[:budget].astype(np.int64)
+        obs.add("engine.rows", n_subs)
+        obs.add("engine.cells", int((2 * (n_subs - visited)).sum()))
+        obs.add("scrimp.diagonals", int(visited.size))
+    with obs.span("engine.scrimp"):
+        for diag in diagonals[:budget]:
+            diag = int(diag)
+            dist = _diagonal_distances(t, diag, length, mu, sigma)
+            m = dist.size
+            rows = np.arange(m)
+            cols = rows + diag
+            better_row = dist < profile[:m]
+            profile[rows[better_row]] = dist[better_row]
+            index[rows[better_row]] = cols[better_row]
+            better_col = dist < profile[diag:]
+            profile[cols[better_col]] = dist[better_col]
+            index[cols[better_col]] = rows[better_col]
     return MatrixProfile(profile=profile, index=index, length=length)
 
 

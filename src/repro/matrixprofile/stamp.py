@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray
 
 from repro.distance.mass import mass_with_stats
@@ -81,16 +82,27 @@ def stamp(
             )
         order = order[:max_rows]
 
-    for i in order:
-        row = mass_with_stats(t, int(i), length, mu, sigma)
-        apply_exclusion_zone(row, int(i), zone)
-        # Update the query row ...
-        j = int(np.argmin(row))
-        if row[j] < profile[i]:
-            profile[i] = row[j]
-            index[i] = j
-        # ... and every row this profile improves (the anytime trick).
-        better = row < profile
-        profile[better] = row[better]
-        index[better] = int(i)
+    if obs.enabled():
+        # Cells this run will touch: for each visited row, every column
+        # outside its exclusion-zone window.  Over a full run this sums
+        # to the same k(k+1) closed form every exact engine reports.
+        visited = np.asarray(order, dtype=np.int64)
+        lo = np.maximum(visited - zone + 1, 0)
+        hi = np.minimum(visited + zone, n_subs)
+        obs.add("engine.rows", int(visited.size))
+        obs.add("engine.cells", int((n_subs - (hi - lo)).sum()))
+        obs.add("stamp.mass_rows", int(visited.size))
+    with obs.span("engine.stamp"):
+        for i in order:
+            row = mass_with_stats(t, int(i), length, mu, sigma)
+            apply_exclusion_zone(row, int(i), zone)
+            # Update the query row ...
+            j = int(np.argmin(row))
+            if row[j] < profile[i]:
+                profile[i] = row[j]
+                index[i] = j
+            # ... and every row this profile improves (the anytime trick).
+            better = row < profile
+            profile[better] = row[better]
+            index[better] = int(i)
     return MatrixProfile(profile=profile, index=index, length=length)

@@ -32,6 +32,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.types import FloatArray, IntArray
 
 from repro.distance.profile import apply_exclusion_zone, distance_profile_from_qt
@@ -43,7 +44,7 @@ from repro.distance.sliding import (
 from repro.distance.znorm import CONSTANT_EPS, as_series
 from repro.exceptions import InvalidParameterError
 from repro.lint.contracts import ensure, no_nan_profile, positive_int, require, series_like
-from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.exclusion import contributing_cells, exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 
 __all__ = [
@@ -179,10 +180,20 @@ def stomp(series: FloatArray, length: int) -> MatrixProfile:
     t = as_series(series, min_length=4)
     n_subs = validate_subsequence_length(t.size, length)
     mu, sigma = moving_mean_std(t, length)
+    if obs.enabled():
+        anchors = stomp_reanchor_rows(t, length, sigma)
+        obs.add("engine.rows", n_subs)
+        obs.add(
+            "engine.cells",
+            contributing_cells(n_subs, exclusion_zone_half_width(length)),
+        )
+        obs.add("stomp.qt_reanchor_rows", int(anchors.size))
+        obs.add("stomp.qt_rolling_rows", max(n_subs - 1 - int(anchors.size), 0))
     profile = np.empty(n_subs, dtype=np.float64)
     index = np.empty(n_subs, dtype=np.int64)
-    for i, _, row in iterate_stomp_rows(t, length, mu, sigma):
-        j = int(np.argmin(row))
-        profile[i] = row[j]
-        index[i] = j if np.isfinite(row[j]) else -1
+    with obs.span("engine.stomp"):
+        for i, _, row in iterate_stomp_rows(t, length, mu, sigma):
+            j = int(np.argmin(row))
+            profile[i] = row[j]
+            index[i] = j if np.isfinite(row[j]) else -1
     return MatrixProfile(profile=profile, index=index, length=length)

@@ -1,0 +1,63 @@
+"""``repro.obs`` — the observability layer.
+
+A zero-dependency tracer (timing spans, monotonic counters, gauges) the
+kernels report into, plus report builders that turn the recorded state
+into the JSON/pretty output of ``repro.cli --trace``.  Disabled by
+default; enable with ``REPRO_TRACE=1`` or at runtime via
+:func:`tracing` / the ``trace=`` kwargs.  See ``docs/OBSERVABILITY.md``
+for the counter catalog and the span naming scheme.
+
+Layering (enforced by lint rule R007): this package imports only the
+standard library and :mod:`repro.exceptions`, so every other layer can
+``from repro import obs`` without risking an import cycle; conversely
+the foundation modules ``repro.types`` / ``repro.exceptions`` must
+never import it.
+"""
+
+from repro.obs.report import (
+    build_report,
+    derived_metrics,
+    format_report,
+    report_from_json,
+    report_to_json,
+)
+from repro.obs.tracer import (
+    TRACE_ENV,
+    Tracer,
+    add,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_tracer,
+    merge,
+    reset,
+    snapshot,
+    span,
+    tracing,
+    worker_begin,
+    worker_snapshot,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "Tracer",
+    "add",
+    "build_report",
+    "derived_metrics",
+    "disable",
+    "enable",
+    "enabled",
+    "format_report",
+    "gauge",
+    "get_tracer",
+    "merge",
+    "report_from_json",
+    "report_to_json",
+    "reset",
+    "snapshot",
+    "span",
+    "tracing",
+    "worker_begin",
+    "worker_snapshot",
+]

@@ -1,0 +1,138 @@
+"""Trace reports: structured, serializable views of a tracer's state.
+
+A *report* is a plain dict (counters, gauges, spans, derived metrics)
+built from the global tracer — the payload behind ``repro.cli --trace``,
+the harness's per-run trace attachments, and the benchmark trace
+sidecar files.  :func:`derived_metrics` reconstructs the paper's
+evaluation quantities from the raw counters; in particular the Fig. 9
+pruning power is ``submp.profiles.valid / submp.profiles.total``, which
+equals the fraction of strictly positive pruning margins computed by
+:func:`repro.analysis.pruning.pruning_margins` on the same input.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import InvalidParameterError
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = [
+    "build_report",
+    "derived_metrics",
+    "format_report",
+    "report_from_json",
+    "report_to_json",
+]
+
+_PER_LENGTH = re.compile(r"^submp\.profiles\.total\.l(\d+)$")
+
+
+def derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
+    """Ratios the paper's figures plot, computed from raw counters.
+
+    ``pruning_power`` (and per-length ``pruning_power.l<N>``): fraction
+    of distance profiles whose minimum the stored listDP entries certify
+    exactly — Fig. 9's pruning fraction.  ``listdp_hit_rate``: fraction
+    of listDP slots still usable (in range, outside the exclusion zone)
+    at lookup time.
+    """
+    out: Dict[str, float] = {}
+    total = counters.get("submp.profiles.total", 0)
+    if total:
+        out["pruning_power"] = counters.get("submp.profiles.valid", 0) / total
+    for key, value in counters.items():
+        match = _PER_LENGTH.match(key)
+        if match and value:
+            length = match.group(1)
+            valid = counters.get(f"submp.profiles.valid.l{length}", 0)
+            out[f"pruning_power.l{length}"] = valid / value
+    lookups = counters.get("listdp.lookups", 0)
+    if lookups:
+        out["listdp_hit_rate"] = counters.get("listdp.hits", 0) / lookups
+    return out
+
+
+def build_report(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """Snapshot ``tracer`` (default: the global one) into a report dict."""
+    t = tracer if tracer is not None else get_tracer()
+    snap = t.snapshot()
+    counters: Dict[str, int] = snap["counters"]
+    spans: Dict[str, Any] = snap["spans"]
+    return {
+        "version": 1,
+        "enabled": t.enabled,
+        "pids": snap["pids"],
+        "n_processes": len(snap["pids"]),
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: snap["gauges"][name] for name in sorted(snap["gauges"])},
+        "spans": {
+            path: {"count": int(spans[path][0]), "seconds": float(spans[path][1])}
+            for path in sorted(spans)
+        },
+        "derived": derived_metrics(counters),
+    }
+
+
+def report_to_json(report: Mapping[str, Any], indent: int = 2) -> str:
+    """Serialize a report; floats survive a round-trip exactly (repr)."""
+    return json.dumps(report, indent=indent, sort_keys=True)
+
+
+def report_from_json(text: str) -> Dict[str, Any]:
+    """Parse a serialized report, validating the envelope."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"not a trace report: {exc}") from exc
+    if not isinstance(data, dict) or "counters" not in data:
+        raise InvalidParameterError(
+            "not a trace report: expected an object with a 'counters' key"
+        )
+    return data
+
+
+def format_report(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of a report (the ``--trace-format pretty`` view)."""
+    lines = [
+        f"trace report (processes: {report.get('n_processes', 1)})",
+        "",
+        "counters:",
+    ]
+    counters = report.get("counters", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.extend(
+            f"  {name.ljust(width)}  {counters[name]}" for name in sorted(counters)
+        )
+    else:
+        lines.append("  (none)")
+    gauges = report.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        lines.extend(
+            f"  {name.ljust(width)}  {gauges[name]:g}" for name in sorted(gauges)
+        )
+    spans = report.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append("spans:")
+        width = max(len(path) for path in spans)
+        for path in sorted(spans):
+            cell = spans[path]
+            lines.append(
+                f"  {path.ljust(width)}  x{cell['count']}  {cell['seconds']:.6f}s"
+            )
+    derived = report.get("derived", {})
+    if derived:
+        lines.append("")
+        lines.append("derived:")
+        width = max(len(name) for name in derived)
+        lines.extend(
+            f"  {name.ljust(width)}  {derived[name]:.6f}" for name in sorted(derived)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,314 @@
+"""Zero-dependency tracer: counters, gauges, and timing spans.
+
+The observability layer the kernels report into.  Design constraints,
+in order:
+
+* **No overhead when off.**  Every recording method starts with a plain
+  ``if not self.enabled: return``; :meth:`Tracer.span` returns a
+  preallocated singleton, so the disabled hot path allocates nothing.
+* **Thread-safe.**  One lock guards the shared dictionaries; span
+  nesting state is thread-local, so concurrent threads interleave
+  without corrupting each other's span paths.
+* **Process-aware.**  Worker processes call :func:`worker_begin` at
+  task start and ship a :func:`worker_snapshot` back with their result;
+  the parent folds it in with :func:`merge`.  Counters and span timings
+  add, gauges take the maximum, and the set of contributing PIDs is
+  tracked so a report can show how many processes fed it.
+* **Stdlib only.**  This module imports nothing from :mod:`repro`, so
+  any layer — including :mod:`repro.types` helpers' callers — can
+  instrument itself without creating an import cycle (enforced by lint
+  rule R007).
+
+The global tracer starts enabled when ``REPRO_TRACE=1`` is set in the
+environment; :func:`tracing` toggles it at runtime (the ``trace=``
+kwarg surface).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Union
+
+__all__ = [
+    "TRACE_ENV",
+    "Tracer",
+    "add",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_tracer",
+    "merge",
+    "reset",
+    "snapshot",
+    "span",
+    "tracing",
+    "worker_begin",
+    "worker_snapshot",
+]
+
+#: environment variable that switches the global tracer on at import.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(TRACE_ENV, "") == "1"
+
+
+class _NullSpan:
+    """No-op context manager returned by :meth:`Tracer.span` when off.
+
+    A module-level singleton: entering it is two attribute lookups and
+    zero allocations, which is what the no-op overhead bound relies on.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live timing span, recorded under its ``/``-joined nesting path."""
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._tracer._pop_record(elapsed)
+
+
+SpanLike = Union[_Span, _NullSpan]
+
+
+class Tracer:
+    """Thread-safe store of monotonic counters, gauges, and timing spans.
+
+    ``enabled`` is a plain attribute consulted on every recording call;
+    flipping it is the runtime on/off switch.  Counter and span names are
+    dotted strings (``listdp.hits``, ``engine.stomp``); nested spans
+    record under their full path (``compute_mp/block``), so a report
+    distinguishes time in a stage from time in its sub-stages.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled: bool = _env_enabled() if enabled is None else bool(enabled)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        # span path -> [count, total seconds]
+        self._spans: Dict[str, List[float]] = {}
+        self._pids: Set[int] = {os.getpid()}
+
+    # -- recording (hot path) ------------------------------------------
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` by ``value`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last-write wins locally, max across merges)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def span(self, name: str) -> SpanLike:
+        """Context manager timing a stage; nests via a per-thread stack."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    # -- span bookkeeping ----------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _pop_record(self, elapsed: float) -> None:
+        stack = self._stack()
+        if not stack:
+            # The tracer was reset while this span was open; drop the
+            # sample rather than corrupt a fresh recording.
+            return
+        path = "/".join(stack)
+        stack.pop()
+        with self._lock:
+            cell = self._spans.get(path)
+            if cell is None:
+                self._spans[path] = [1.0, elapsed]
+            else:
+                cell[0] += 1.0
+                cell[1] += elapsed
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def spans(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                path: {"count": int(cell[0]), "seconds": cell[1]}
+                for path, cell in self._spans.items()
+            }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable copy of the full state (the worker->parent wire format)."""
+        with self._lock:
+            return {
+                "pids": sorted(self._pids),
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "spans": {
+                    path: [int(cell[0]), cell[1]]
+                    for path, cell in self._spans.items()
+                },
+            }
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, snap: Optional[Mapping[str, Any]]) -> None:
+        """Fold a snapshot from another tracer (typically a worker) in.
+
+        Counters and span statistics are summed, gauges take the maximum
+        (a gauge records a high-water mark across processes), PIDs union.
+        ``None`` snapshots — workers that ran with tracing off — are
+        ignored, so callers can merge unconditionally.
+        """
+        if not snap:
+            return
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in snap.get("gauges", {}).items():
+                current = self._gauges.get(name)
+                value = float(value)
+                if current is None or value > current:
+                    self._gauges[name] = value
+            for path, (count, seconds) in snap.get("spans", {}).items():
+                cell = self._spans.get(path)
+                if cell is None:
+                    self._spans[path] = [float(count), float(seconds)]
+                else:
+                    cell[0] += float(count)
+                    cell[1] += float(seconds)
+            self._pids.update(int(pid) for pid in snap.get("pids", ()))
+
+    def reset(self) -> None:
+        """Clear all recorded state (keeps the enabled flag)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._spans.clear()
+            self._pids = {os.getpid()}
+        # Fresh span stacks: a forked worker inherits the parent's
+        # thread-local stack, which would otherwise prefix every worker
+        # span with whatever span the parent had open at fork time.
+        self._local = threading.local()
+
+
+#: The process-global tracer.  Never rebound — module-level aliases below
+#: are bound methods of this exact object, so call sites stay valid.
+_GLOBAL = Tracer()
+
+add = _GLOBAL.add
+gauge = _GLOBAL.gauge
+span = _GLOBAL.span
+merge = _GLOBAL.merge
+snapshot = _GLOBAL.snapshot
+reset = _GLOBAL.reset
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer instance."""
+    return _GLOBAL
+
+
+def enabled() -> bool:
+    """True when the global tracer is currently recording."""
+    return _GLOBAL.enabled
+
+
+def enable() -> None:
+    _GLOBAL.enabled = True
+
+
+def disable() -> None:
+    _GLOBAL.enabled = False
+
+
+@contextmanager
+def tracing(on: bool = True) -> Iterator[Tracer]:
+    """Force tracing on (or off) within a block, restoring the prior state.
+
+    The runtime face of the ``trace=`` kwarg: ``with tracing(True):``
+    records regardless of ``REPRO_TRACE``; ``with tracing(False):``
+    silences an env-enabled tracer (used by overhead benchmarks).
+    """
+    previous = _GLOBAL.enabled
+    _GLOBAL.enabled = bool(on)
+    try:
+        yield _GLOBAL
+    finally:
+        _GLOBAL.enabled = previous
+
+
+def worker_begin(trace: bool) -> None:
+    """Initialize the global tracer inside a worker process task.
+
+    Workers inherit parent state under ``fork`` (stale counters, open
+    span stacks) and miss kwarg-driven enablement under ``spawn`` (the
+    parent may trace without ``REPRO_TRACE`` in the environment), so the
+    parent ships its ``enabled`` flag in the task and every task starts
+    from a clean slate.  The snapshot a worker returns is therefore the
+    delta of exactly that task.
+    """
+    _GLOBAL.enabled = bool(trace)
+    if trace:
+        _GLOBAL.reset()
+
+
+def worker_snapshot() -> Optional[Dict[str, Any]]:
+    """The worker-side half of the aggregation protocol (None when off)."""
+    if not _GLOBAL.enabled:
+        return None
+    return _GLOBAL.snapshot()

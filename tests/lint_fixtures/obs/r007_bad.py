@@ -1,0 +1,9 @@
+"""R007 bad fixture: an obs module reaching into kernel code."""
+
+import repro.core.compute_mp
+
+from repro.matrixprofile.stomp import stomp
+
+
+def leak():
+    return stomp, repro.core.compute_mp

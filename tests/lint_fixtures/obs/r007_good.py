@@ -1,0 +1,11 @@
+"""R007 good fixture: obs keeps to stdlib, itself, and repro.exceptions."""
+
+import threading
+
+from repro import obs
+from repro.exceptions import InvalidParameterError
+from repro.obs.tracer import Tracer
+
+
+def fine():
+    return threading, obs, InvalidParameterError, Tracer

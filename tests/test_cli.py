@@ -138,3 +138,95 @@ class TestCommands:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_flag_available_on_every_subcommand(self):
+        parser = build_parser()
+        for command in (
+            "motifs", "profile", "discords", "sets",
+            "segment", "snippets", "datasets", "bench",
+        ):
+            extra = ["fig8"] if command == "bench" else []
+            args = parser.parse_args([command, *extra, "--trace"])
+            assert args.trace is True
+            assert args.trace_format == "json"
+            assert args.trace_out is None
+
+    def test_trace_emits_json_after_output(self, capsys):
+        import json
+
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        code = main(
+            [
+                "profile",
+                "--dataset", "ECG",
+                "--points", "1000",
+                "--length", "32",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        # --trace must restore whatever the ambient state was
+        assert obs.enabled() == was_enabled
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("\n{"):])
+        assert report["counters"]["engine.rows"] == 1000 - 32 + 1
+        assert "engine.stomp" in report["spans"]
+
+    def test_trace_out_writes_clean_json(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "motifs",
+                "--dataset", "ECG",
+                "--points", "1000",
+                "--l-min", "24",
+                "--l-max", "26",
+                "--p", "10",
+                "--trace",
+                "--trace-out", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert f"trace report written to {out_file}" in capsys.readouterr().out
+        report = json.loads(out_file.read_text())
+        assert 0.0 <= report["derived"]["pruning_power"] <= 1.0
+        assert report["enabled"] is True
+
+    def test_trace_pretty_format(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--dataset", "ECG",
+                "--points", "900",
+                "--length", "24",
+                "--trace",
+                "--trace-format", "pretty",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "engine.rows" in out
+
+    def test_trace_emitted_even_on_failure(self, capsys):
+        code = main(
+            [
+                "motifs",
+                "--dataset", "ECG",
+                "--points", "100",
+                "--l-min", "64",
+                "--l-max", "96",
+                "--trace",
+            ]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        # a (possibly empty) trace report still lands on stdout
+        assert '"counters"' in captured.out

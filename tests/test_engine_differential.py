@@ -7,9 +7,14 @@ distance).  The parallel engine additionally runs at several worker
 counts, where it must be *bitwise* identical to serial STOMP.
 """
 
+import pathlib
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.distance.znorm import znormalized_distance
 from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.brute import brute_force_matrix_profile
@@ -115,6 +120,71 @@ def test_parallel_engine_bitwise_vs_serial(n_jobs, fixture, oracles):
         err_msg=f"parallel-stomp n_jobs={n_jobs} not bitwise on {fixture}",
     )
     np.testing.assert_array_equal(mp.index, serial.index)
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("engine", sorted(engine_names()))
+def test_tracing_does_not_change_results(engine, fixture, oracles):
+    """Observability is read-only: traced output is bitwise untraced."""
+    series, length, _ = oracles[fixture]
+    with obs.tracing(False):
+        plain = compute_with(engine, series, length, n_jobs=1)
+    with obs.tracing(True):
+        obs.reset()
+        traced = compute_with(engine, series, length, n_jobs=1)
+        recorded = obs.snapshot()["counters"]
+    obs.reset()
+    np.testing.assert_array_equal(
+        traced.profile, plain.profile,
+        err_msg=f"{engine} profile changed under tracing on {fixture}",
+    )
+    np.testing.assert_array_equal(traced.index, plain.index)
+    if engine != "brute":  # brute is deliberately uninstrumented
+        assert recorded, f"{engine} recorded no counters while traced"
+
+
+def test_tracing_does_not_change_parallel_workers(oracles):
+    series, length, _ = oracles["random-walk"]
+    serial = stomp(series, length)
+    with obs.tracing(True):
+        obs.reset()
+        mp = parallel_stomp(series, length, n_jobs=2, n_chunks=4)
+        pids = obs.snapshot()["pids"]
+    obs.reset()
+    obs.disable()
+    np.testing.assert_array_equal(mp.profile, serial.profile)
+    np.testing.assert_array_equal(mp.index, serial.index)
+    assert len(pids) >= 2, "worker snapshots were not merged"
+
+
+def test_repro_trace_env_does_not_change_results(tmp_path):
+    """REPRO_TRACE=1 in a fresh process leaves the profile bitwise equal."""
+    script = (
+        "import numpy as np\n"
+        "from repro.matrixprofile.stomp import stomp\n"
+        "rng = np.random.default_rng(11)\n"
+        "series = rng.standard_normal(300).cumsum()\n"
+        "mp = stomp(series, 20)\n"
+        "np.save(r'{out}', np.vstack([mp.profile, mp.index.astype(float)]))\n"
+    )
+    results = {}
+    for label, env_value in (("off", "0"), ("on", "1")):
+        out = tmp_path / f"{label}.npy"
+        code = subprocess.run(
+            [sys.executable, "-c", script.format(out=out)],
+            env={
+                "PYTHONPATH": str(
+                    pathlib.Path(__file__).resolve().parent.parent / "src"
+                ),
+                "PATH": "/usr/bin:/bin",
+                "REPRO_TRACE": env_value,
+            },
+            capture_output=True,
+            text=True,
+        )
+        assert code.returncode == 0, code.stderr
+        results[label] = np.load(out)
+    np.testing.assert_array_equal(results["on"], results["off"])
 
 
 def test_registry_lists_all_engines():

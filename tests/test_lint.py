@@ -19,7 +19,7 @@ from repro.lint.cli import format_rule_table, main
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
+RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007")
 
 # rule id -> fixture path relative to FIXTURES, expected violation count
 BAD_FIXTURES = {
@@ -29,6 +29,7 @@ BAD_FIXTURES = {
     "R004": ("matrixprofile/r004_bad.py", 1),
     "R005": ("matrixprofile/r005_bad.py", 2),
     "R006": ("matrixprofile/r006_bad.py", 2),
+    "R007": ("obs/r007_bad.py", 2),
 }
 GOOD_FIXTURES = {
     "R001": "matrixprofile/r001_good.py",
@@ -37,6 +38,7 @@ GOOD_FIXTURES = {
     "R004": "matrixprofile/r004_good.py",
     "R005": "matrixprofile/r005_good.py",
     "R006": "matrixprofile/r006_good.py",
+    "R007": "obs/r007_good.py",
 }
 
 
@@ -45,7 +47,7 @@ def rule_ids(diagnostics):
 
 
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert tuple(rule.rule_id for rule in all_rules()) == RULE_IDS
 
     def test_rules_carry_documentation(self):
@@ -129,6 +131,30 @@ class TestPragmas:
             "    return length // 2\n"
         )
         assert lint_source(source, path="matrixprofile/fake.py") == []
+
+
+class TestObsLayering:
+    def test_foundation_module_may_not_import_obs(self):
+        source = "from repro.obs import tracer\n"
+        assert rule_ids(lint_source(source, path="src/repro/types.py")) == [
+            "R007"
+        ]
+
+    def test_from_repro_import_obs_alias_is_seen(self):
+        # the alias form must not hide the layering violation
+        source = "from repro import obs\n"
+        assert rule_ids(lint_source(source, path="src/repro/exceptions.py")) == [
+            "R007"
+        ]
+
+    def test_foundation_rule_ignores_other_imports(self):
+        source = "import numpy as np\nfrom repro.exceptions import ReproError\n"
+        assert lint_source(source, path="src/repro/types.py") == []
+
+    def test_non_foundation_non_obs_module_is_out_of_scope(self):
+        # kernels importing obs is the intended direction
+        source = "from repro import obs\nfrom repro.matrixprofile import stomp\n"
+        assert lint_source(source, path="src/repro/core/whatever.py") == []
 
 
 class TestScoping:
