@@ -2,22 +2,32 @@
 
 Not a paper figure — engineering-level timings (with pytest-benchmark's
 statistics) for the primitives the figures are built from: MASS vs the
-naive profile, one STOMP row update, the Eq. 2 lower-bound kernel, and
-one ComputeSubMP step.
+naive profile, one STOMP row update, the Eq. 2 lower-bound kernel, one
+ComputeSubMP step, and the blocked diagonal kernel vs the rowwise STOMP
+schedule (``micro_stomp_blocked_vs_rowwise``).
+
+The blocked-vs-rowwise comparison persists cells/second numbers to
+``benchmarks/results/BENCH_micro_stomp_blocked_vs_rowwise.json``; CI
+runs it in smoke mode (``REPRO_BENCH_FAST=1``), the full n=16384/l=256
+measurement is committed alongside the kernel.
 """
+
+import time
 
 import numpy as np
 import pytest
 
-from _common import bench_grid
+from _common import bench_dataset, bench_grid, fast_mode, save_report, save_result_json
 from repro.core.compute_mp import compute_matrix_profile
 from repro.core.compute_submp import compute_submp
 from repro.core.lower_bound import lower_bound_base
 from repro.distance.mass import mass
 from repro.distance.profile import naive_distance_profile
 from repro.distance.sliding import moving_mean_std, sliding_dot_product
-from _common import bench_dataset
+from repro.harness.reporting import format_table
+from repro.kernels import DEFAULT_BLOCK_ROWS, SeriesContext, blocked_stomp
 from repro.matrixprofile import stomp
+from repro.matrixprofile.exclusion import contributing_cells, exclusion_zone_half_width
 
 
 @pytest.fixture(scope="module")
@@ -72,3 +82,121 @@ def test_micro_compute_submp_step(benchmark, series, length):
 
     result = benchmark.pedantic(one_step, iterations=1, rounds=3)
     assert result.sub_profile.size == series.size - length
+
+
+# ---------------------------------------------------------------------------
+# Blocked diagonal kernel vs rowwise STOMP (ISSUE: micro_stomp_blocked_vs_rowwise)
+# ---------------------------------------------------------------------------
+
+#: block sizes swept in the full run (smoke keeps the first and default).
+BLOCK_SIZES = (16, 32, DEFAULT_BLOCK_ROWS, 128)
+
+#: the headline configuration the acceptance bar is measured at.
+FULL_N, FULL_LENGTH = 16_384, 256
+SMOKE_N, SMOKE_LENGTH = 3_072, 64
+
+#: floor for blocked-f64 over rowwise at the default block size (full mode).
+MIN_SPEEDUP = 2.0
+
+
+def _best_seconds(fn, rounds):
+    """Min-of-rounds wall clock: robust to scheduler noise on small boxes."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_micro_stomp_blocked_vs_rowwise(benchmark):
+    smoke = fast_mode()
+    n = SMOKE_N if smoke else FULL_N
+    length = SMOKE_LENGTH if smoke else FULL_LENGTH
+    rounds = 1 if smoke else 3
+    block_sizes = (BLOCK_SIZES[0], DEFAULT_BLOCK_ROWS) if smoke else BLOCK_SIZES
+
+    series = bench_dataset("ECG", n, seed=7)
+    ctx = SeriesContext(series)
+    n_subs = series.size - length + 1
+    cells = contributing_cells(n_subs, exclusion_zone_half_width(length))
+
+    reference = stomp(series, length, context=ctx)
+
+    def sweep():
+        rows = [("rowwise", _best_seconds(lambda: stomp(series, length, context=ctx), rounds))]
+        for block in block_sizes:
+            rows.append(
+                (
+                    f"blocked B={block}",
+                    _best_seconds(
+                        lambda b=block: blocked_stomp(series, length, block_rows=b, context=ctx),
+                        rounds,
+                    ),
+                )
+            )
+        rows.append(
+            (
+                f"blocked-f32 B={DEFAULT_BLOCK_ROWS}",
+                _best_seconds(
+                    lambda: blocked_stomp(series, length, precision="float32", context=ctx),
+                    rounds,
+                ),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    # Correctness stays pinned to the timing run: the default-block profile
+    # must match the rowwise engine to rounding.
+    blocked_mp = blocked_stomp(series, length, context=ctx)
+    np.testing.assert_allclose(
+        blocked_mp.profile, reference.profile, rtol=0.0, atol=1e-8
+    )
+
+    rowwise_seconds = rows[0][1]
+    payload = {
+        "bench": "micro_stomp_blocked_vs_rowwise",
+        "series_size": int(series.size),
+        "length": int(length),
+        "n_subs": int(n_subs),
+        "cells": int(cells),
+        "default_block_rows": int(DEFAULT_BLOCK_ROWS),
+        "smoke": smoke,
+        "engines": [],
+    }
+    report_rows = []
+    default_speedup = None
+    for label, seconds in rows:
+        cps = cells / seconds if seconds > 0 else float("inf")
+        speedup = rowwise_seconds / seconds if seconds > 0 else float("inf")
+        if label == f"blocked B={DEFAULT_BLOCK_ROWS}":
+            default_speedup = speedup
+        payload["engines"].append(
+            {
+                "engine": label,
+                "seconds": seconds,
+                "cells_per_second": cps,
+                "speedup_vs_rowwise": speedup,
+            }
+        )
+        report_rows.append((label, f"{seconds:.3f}", f"{cps:.3e}", f"{speedup:.2f}x"))
+
+    save_report(
+        "micro_stomp_blocked_vs_rowwise",
+        format_table(
+            ["engine", "seconds", "cells/second", "speedup vs rowwise"], report_rows
+        )
+        + f"\nseries={series.size} length={length} cells={cells} smoke={smoke}",
+    )
+    save_result_json("BENCH_micro_stomp_blocked_vs_rowwise", payload)
+
+    assert default_speedup is not None
+    if not smoke:
+        # The acceptance bar: blocked f64 at the default block size must be
+        # at least MIN_SPEEDUP faster than the rowwise schedule.
+        assert default_speedup >= MIN_SPEEDUP, (
+            f"blocked B={DEFAULT_BLOCK_ROWS} speedup {default_speedup:.2f}x "
+            f"below the {MIN_SPEEDUP:.1f}x bar"
+        )

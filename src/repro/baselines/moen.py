@@ -45,8 +45,8 @@ import numpy as np
 
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
-from repro.distance.sliding import moving_mean_std
-from repro.distance.znorm import CONSTANT_EPS, as_series, znormalized_distance
+from repro.kernels.context import ensure_context
+from repro.distance.znorm import CONSTANT_EPS, znormalized_distance
 from repro.exceptions import BudgetExceededError, InvalidParameterError
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.stomp import stomp
@@ -94,17 +94,18 @@ def moen(
     ``deadline`` (absolute ``time.perf_counter()`` value) aborts slow
     runs with :class:`BudgetExceededError` for DNF reporting.
     """
-    t = as_series(series, min_length=8)
+    ctx = ensure_context(series, min_length=8)
+    t = ctx.series
     if l_min > l_max:
         raise InvalidParameterError(f"l_min ({l_min}) must not exceed l_max ({l_max})")
     start = time.perf_counter()
     result: Dict[int, MotifPair] = {}
 
-    mp = stomp(t, l_min)
+    mp = stomp(t, l_min, context=ctx)
     result[l_min] = mp.motif_pair()
     lower = mp.profile.copy()
     lower[~np.isfinite(lower)] = np.inf
-    _, sigma_prev = moving_mean_std(t, l_min)
+    _, sigma_prev = ctx.moving_mean_std(l_min)
 
     for length in range(l_min + 1, l_max + 1):
         if deadline is not None and time.perf_counter() > deadline:
@@ -112,7 +113,7 @@ def moen(
                 f"moen exceeded its deadline at length {length}"
             )
         n_subs = t.size - length + 1
-        mu, sigma = moving_mean_std(t, length)
+        mu, sigma = ctx.moving_mean_std(length)
         # Carry the per-row NN lower bounds one length forward.
         factors = moen_step_factor(sigma_prev, sigma, n_subs)
         lower = lower[:n_subs] * factors
@@ -136,7 +137,7 @@ def moen(
             stats.candidate_counts.append(int(candidates.size))
         if candidates.size > refresh_fraction * n_subs:
             # Bound too loose: refresh everything (MOEN's worst case).
-            mp = stomp(t, length)
+            mp = stomp(t, length, context=ctx)
             result[length] = mp.motif_pair()
             lower = mp.profile.copy()
             lower[~np.isfinite(lower)] = np.inf
@@ -146,7 +147,7 @@ def moen(
 
         for row in candidates:
             row = int(row)
-            profile = mass_with_stats(t, row, length, mu, sigma)
+            profile = mass_with_stats(t, row, length, mu, sigma, context=ctx)
             apply_exclusion_zone(profile, row, zone)
             j = int(np.argmin(profile))
             exact = float(profile[j])

@@ -21,7 +21,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.distance.sliding import moving_mean_std, prefix_sums
+from repro.distance.sliding import prefix_sums
+from repro.kernels.context import ensure_context
 from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
 
@@ -57,7 +58,7 @@ def paa_transform(series: np.ndarray, length: int, width: int) -> np.ndarray:
         )
     seg = length // width
     cumsum, _ = prefix_sums(t)
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ensure_context(t).moving_mean_std(length)
     starts = np.arange(n_subs)
     summaries = np.empty((n_subs, width), dtype=np.float64)
     for k in range(width):

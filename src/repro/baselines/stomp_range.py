@@ -14,8 +14,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.valmp import VALMP
-from repro.distance.znorm import as_series
 from repro.exceptions import BudgetExceededError, InvalidParameterError
+from repro.kernels.context import ensure_context
 from repro.matrixprofile.parallel import parallel_stomp
 from repro.matrixprofile.stomp import stomp
 from repro.types import MotifPair
@@ -40,7 +40,8 @@ def stomp_range(
     ``n_jobs > 1`` routes each length through the chunked parallel STOMP
     engine, whose output is bitwise identical to the serial one.
     """
-    t = as_series(series, min_length=8)
+    ctx = ensure_context(series, min_length=8)
+    t = ctx.series
     if l_min > l_max:
         raise InvalidParameterError(f"l_min ({l_min}) must not exceed l_max ({l_max})")
     result: Dict[int, MotifPair] = {}
@@ -50,9 +51,9 @@ def stomp_range(
                 f"stomp_range exceeded its deadline at length {length}"
             )
         if n_jobs == 1:
-            mp = stomp(t, length)
+            mp = stomp(t, length, context=ctx)
         else:
-            mp = parallel_stomp(t, length, n_jobs=n_jobs)
+            mp = parallel_stomp(t, length, n_jobs=n_jobs, context=ctx)
         result[length] = mp.motif_pair()
         if valmp is not None:
             valmp.update(mp.profile, mp.index, length)

@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(motifs)
     motifs.add_argument("--top", type=int, default=5, help="motifs to print")
     motifs.add_argument("--export", help="write the full result to this JSON file")
+    motifs.add_argument(
+        "--no-stats-cache",
+        action="store_false",
+        dest="stats_cache",
+        help="disable the shared series stats/FFT cache (ablation; "
+        "results are bitwise identical either way)",
+    )
 
     profile = sub.add_parser(
         "profile", help="compute one fixed-length matrix profile"
@@ -194,7 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_motifs(args: argparse.Namespace) -> int:
     series = _load_series(args)
     run = Valmod(
-        series, args.l_min, args.l_max, p=args.p, n_jobs=args.n_jobs
+        series, args.l_min, args.l_max, p=args.p, n_jobs=args.n_jobs,
+        stats_cache=getattr(args, "stats_cache", True),
     ).run()
     print(f"# processed {len(run.motif_pairs)} lengths; {run.stats.summary()}")
     rows = [
@@ -212,8 +220,13 @@ def _cmd_motifs(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.kernels import SeriesContext
+
     series = _load_series(args)
-    mp = compute_with(args.engine, series, args.length, n_jobs=args.n_jobs)
+    context = SeriesContext(series)
+    mp = compute_with(
+        args.engine, series, args.length, n_jobs=args.n_jobs, context=context
+    )
     finite = np.isfinite(mp.profile)
     print(
         f"# engine={args.engine} length={args.length} "

@@ -20,9 +20,9 @@ import numpy as np
 
 from repro.types import FloatArray
 
-from repro.distance.sliding import moving_mean_std
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import ensure_context
 from repro.matrixprofile.index import MatrixProfile
 
 __all__ = [
@@ -59,7 +59,7 @@ def variance_annotation(series: FloatArray, length: int) -> FloatArray:
     spurious near-zero-distance motifs; this annotation suppresses them.
     """
     t = as_series(series, min_length=4)
-    _, sigma = moving_mean_std(t, length)
+    _, sigma = ensure_context(t).moving_mean_std(length)
     span = sigma.max() - sigma.min()
     if span < 1e-12:
         return np.ones_like(sigma)

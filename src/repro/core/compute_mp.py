@@ -26,11 +26,9 @@ from repro.types import FloatArray
 
 from repro.core.entries import EntryStore
 from repro.distance.profile import correlation_from_qt
-from repro.distance.sliding import (
-    moving_mean_std,
-    validate_subsequence_length,
-)
+from repro.distance.sliding import validate_subsequence_length
 from repro.distance.znorm import CONSTANT_EPS
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
@@ -82,6 +80,7 @@ def _fill_block(
     p: int,
     start: int,
     stop: int,
+    context: Optional[SeriesContext] = None,
 ) -> Tuple[FloatArray, FloatArray, FloatArray, FloatArray, FloatArray]:
     """Profile, index, and listDP rows for the row block ``[start, stop)``.
 
@@ -89,8 +88,10 @@ def _fill_block(
     ``iterate_stomp_rows`` replays the recurrence up to ``start`` so every
     produced row matches a full serial run bit for bit.
     """
+    ctx = SeriesContext.ensure(t, context, min_length=4)
+    t = ctx.series
     n_subs = t.size - length + 1
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ctx.moving_mean_std(length)
     zone = exclusion_zone_half_width(length)
     rows = stop - start
     profile = np.empty(rows, dtype=np.float64)
@@ -98,7 +99,7 @@ def _fill_block(
     store = EntryStore.empty(max(rows, 1), p, length)
     positions = np.arange(n_subs)
     for i, qt, row in iterate_stomp_rows(
-        t, length, mu, sigma, row_range=(start, stop)
+        t, length, mu, sigma, row_range=(start, stop), context=ctx
     ):
         j = int(np.argmin(row))
         k = i - start
@@ -131,7 +132,11 @@ def _block_worker(task):
 
 @require(series=series_like(min_length=4), length=positive_int(), p=positive_int())
 def compute_matrix_profile(
-    series: FloatArray, length: int, p: int, n_jobs: Optional[int] = 1
+    series: FloatArray,
+    length: int,
+    p: int,
+    n_jobs: Optional[int] = 1,
+    context: Optional[SeriesContext] = None,
 ) -> Tuple[MatrixProfile, EntryStore]:
     """Matrix profile at ``length`` plus the listDP store (Algorithm 3).
 
@@ -139,9 +144,12 @@ def compute_matrix_profile(
     :class:`EntryStore` holding, for every subsequence, the p candidates
     with the smallest lower bound for greater lengths.  ``n_jobs``
     distributes row blocks over worker processes (``None``/``0`` = all
-    CPUs); results are identical for every worker count.
+    CPUs); results are identical for every worker count.  ``context``
+    optionally carries cached series statistics; workers rebuild their
+    own from the shared series (the cache is per-process).
     """
-    t = np.asarray(series, dtype=np.float64)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
     jobs = 1 if n_jobs == 1 else resolve_n_jobs(n_jobs)
     blocks = row_blocks(n_subs, jobs)
@@ -153,7 +161,9 @@ def compute_matrix_profile(
     if len(blocks) <= 1:
         with obs.span("compute_mp"):
             with obs.span("block"):
-                prof, idx, nb, qt, lb = _fill_block(t, length, p, 0, n_subs)
+                prof, idx, nb, qt, lb = _fill_block(
+                    t, length, p, 0, n_subs, context=ctx
+                )
         profile[:] = prof
         index[:] = idx
         store.neighbor[:] = nb

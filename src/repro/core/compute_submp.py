@@ -38,9 +38,9 @@ from repro.core.entries import EntryStore
 from repro.core.lower_bound import lower_bound_from_base
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone, correlation_from_qt
-from repro.distance.sliding import moving_mean_std, sliding_dot_product
 from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 
 __all__ = ["SubMPResult", "compute_submp"]
@@ -105,15 +105,19 @@ def compute_submp(
     store: EntryStore,
     new_length: int,
     recompute_fraction: float = 0.5,
+    context: Optional[SeriesContext] = None,
 ) -> SubMPResult:
     """Run one ComputeSubMP step, advancing ``store`` to ``new_length``.
 
     ``recompute_fraction`` is the paper's "less than half" threshold: the
     partial-recompute path (Algorithm 4 lines 27-38) only runs when the
     non-valid profiles are fewer than this fraction of all profiles; set
-    it to 0 to disable the path (ablation).
+    it to 0 to disable the path (ablation).  ``context`` optionally reuses
+    cached window statistics and the series spectrum for the recompute
+    FFTs.
     """
-    t = np.asarray(series, dtype=np.float64)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n = t.size
     n_dp = n - new_length + 1
     if n_dp < 2:
@@ -122,7 +126,7 @@ def compute_submp(
         )
     with obs.span("submp.advance"):
         store.advance_to(new_length, t)
-    mu, sigma = moving_mean_std(t, new_length)
+    mu, sigma = ctx.moving_mean_std(new_length)
     zone = exclusion_zone_half_width(new_length)
 
     nb = store.neighbor[:n_dp]
@@ -202,7 +206,7 @@ def compute_submp(
                 if max_lb[r] >= best_distance:
                     break
                 r = int(r)
-                qt_row = sliding_dot_product(t[r : r + new_length], t)
+                qt_row = ctx.sliding_dot_product(t[r : r + new_length])
                 row_dp = mass_with_stats(t, r, new_length, mu, sigma, qt=qt_row)
                 apply_exclusion_zone(row_dp, r, zone)
                 j = int(np.argmin(row_dp))

@@ -39,9 +39,9 @@ import numpy as np
 from repro.types import FloatArray
 
 from repro.distance.profile import correlation_from_qt
-from repro.distance.sliding import moving_mean_std, sliding_dot_product
 from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import ensure_context
 
 __all__ = [
     "lower_bound_base",
@@ -147,8 +147,9 @@ def lower_bound_profile(
         raise InvalidParameterError(
             f"owner {owner} has no subsequence of target length {target}"
         )
-    mu, sigma = moving_mean_std(t, length)
-    qt = sliding_dot_product(t[owner : owner + length], t)
+    ctx = ensure_context(t)
+    mu, sigma = ctx.moving_mean_std(length)
+    qt = ctx.sliding_dot_product(t[owner : owner + length])
     corr = correlation_from_qt(
         qt, length, float(mu[owner]), max(float(sigma[owner]), CONSTANT_EPS), mu, sigma
     )

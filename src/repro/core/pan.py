@@ -35,9 +35,9 @@ from repro.core.compute_submp import compute_submp
 from repro.core.discords import Discord
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
-from repro.distance.sliding import moving_mean_std
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.stomp import stomp
@@ -156,6 +156,8 @@ def compute_pan_matrix_profile(
             f"unknown strategy {strategy!r}; use 'valmod' or 'exact'"
         )
     start_time = time.perf_counter()
+    # One shared stats/FFT cache for the whole length sweep.
+    ctx = SeriesContext(t)
     n_positions = t.size - l_min + 1
     n_lengths = l_max - l_min + 1
     distances = np.full((n_lengths, n_positions), np.inf, dtype=np.float64)
@@ -164,26 +166,28 @@ def compute_pan_matrix_profile(
 
     if strategy == "exact":
         for row, length in enumerate(range(l_min, l_max + 1)):
-            mp = stomp(t, length)
+            mp = stomp(t, length, context=ctx)
             distances[row, : len(mp)] = mp.profile
             indices[row, : len(mp)] = mp.index
     else:
-        mp, store = compute_matrix_profile(t, l_min, p)
+        mp, store = compute_matrix_profile(t, l_min, p, context=ctx)
         distances[0, : len(mp)] = mp.profile
         indices[0, : len(mp)] = mp.index
         for row, length in enumerate(range(l_min + 1, l_max + 1), start=1):
-            result = compute_submp(t, store, length)
+            result = compute_submp(t, store, length, context=ctx)
             known = np.isfinite(result.sub_profile)
             distances[row, : known.size][known] = result.sub_profile[known]
             indices[row, : known.size][known] = result.index[known]
             # Repair the rows Algorithm 4 could not certify.
             missing = np.where(~known)[0]
             if missing.size:
-                mu, sigma = moving_mean_std(t, length)
+                mu, sigma = ctx.moving_mean_std(length)
                 zone = exclusion_zone_half_width(length)
                 for position in missing:
                     position = int(position)
-                    profile = mass_with_stats(t, position, length, mu, sigma)
+                    profile = mass_with_stats(
+                        t, position, length, mu, sigma, context=ctx
+                    )
                     apply_exclusion_zone(profile, position, zone)
                     j = int(np.argmin(profile))
                     if np.isfinite(profile[j]):

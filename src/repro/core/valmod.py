@@ -26,9 +26,10 @@ from repro.core.entries import EntryStore
 from repro.core.lower_bound import lower_bound_from_base
 from repro.core.stats import LengthStats, RunStats
 from repro.core.valmp import VALMP, PairRecord, PartialProfile
-from repro.distance.sliding import moving_mean_std, validate_subsequence_length
+from repro.distance.sliding import validate_subsequence_length
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import (
     instance_of,
     int_at_least,
@@ -113,6 +114,12 @@ class Valmod:
         ``False`` silences an env-enabled tracer; ``None`` (default)
         leaves the global tracer's state untouched.  Results are
         bitwise identical either way.
+    stats_cache:
+        Share one :class:`~repro.kernels.SeriesContext` across the whole
+        l_min..l_max sweep (default).  Every length then computes its
+        window statistics exactly once and all FFT sliding dot products
+        reuse a single cached series spectrum.  ``False`` disables the
+        cache (ablation); the output is bitwise identical either way.
     """
 
     def __init__(
@@ -127,6 +134,7 @@ class Valmod:
         keep_margins: bool = False,
         n_jobs: Optional[int] = 1,
         trace: Optional[bool] = None,
+        stats_cache: bool = True,
     ) -> None:
         self.series = as_series(series, min_length=8)
         if l_min > l_max:
@@ -146,8 +154,16 @@ class Valmod:
         self.keep_margins = bool(keep_margins)
         self.n_jobs = n_jobs
         self.trace = trace
+        self.stats_cache = bool(stats_cache)
         self._store: Optional[EntryStore] = None
-        self._stats_cache: Optional[tuple] = None  # (length, mu, sigma)
+        # One context for the whole sweep: window statistics are computed
+        # once per length and the series FFT once per plan size.  When the
+        # cache is off, a fresh throwaway context per call keeps the code
+        # path identical without reusing anything.
+        self._context: Optional[SeriesContext] = (
+            SeriesContext(self.series) if self.stats_cache else None
+        )
+        self._snapshot_context: Optional[SeriesContext] = None
 
     def run(self) -> ValmodResult:
         """Execute Algorithm 1 over the configured length range."""
@@ -166,7 +182,8 @@ class Valmod:
         start = time.perf_counter()
         with obs.span("valmod.initial"):
             mp, store = compute_matrix_profile(
-                t, self.l_min, self.p, n_jobs=self.n_jobs
+                t, self.l_min, self.p, n_jobs=self.n_jobs,
+                context=self._context,
             )
         obs.add("valmod.lengths.initial")
         self._store = store
@@ -192,7 +209,9 @@ class Valmod:
                 continue
             with obs.span("valmod.step"):
                 result = compute_submp(
-                    t, store, length, recompute_fraction=self.recompute_fraction
+                    t, store, length,
+                    recompute_fraction=self.recompute_fraction,
+                    context=self._context,
                 )
             if result.found_motif:
                 improved = valmp.update(result.sub_profile, result.index, length)
@@ -247,7 +266,8 @@ class Valmod:
         """Algorithm 1, line 13: rebuild the matrix profile and listDP."""
         with obs.span("valmod.full_recompute"):
             mp, store = compute_matrix_profile(
-                self.series, length, self.p, n_jobs=self.n_jobs
+                self.series, length, self.p, n_jobs=self.n_jobs,
+                context=self._context,
             )
         obs.add("valmod.lengths.full-recompute")
         self._store = store
@@ -275,11 +295,15 @@ class Valmod:
         n = t.size
         if offset > n - length:
             return None
-        if self._stats_cache is not None and self._stats_cache[0] == length:
-            mu, sigma = self._stats_cache[1], self._stats_cache[2]
-        else:
-            mu, sigma = moving_mean_std(t, length)
-            self._stats_cache = (length, mu, sigma)
+        ctx = self._context
+        if ctx is None:
+            # Cache-off ablation: snapshots still memoize their own window
+            # statistics (as before the shared context existed), but the
+            # measured compute paths receive no context at all.
+            if self._snapshot_context is None:
+                self._snapshot_context = SeriesContext(t)
+            ctx = self._snapshot_context
+        mu, sigma = ctx.moving_mean_std(length)
         nb = store.neighbor[offset]
         real = nb >= 0
         in_range = real & (nb <= n - length)
@@ -323,6 +347,7 @@ class Valmod:
     track_top_k=int_at_least(0),
     n_jobs=optional(instance_of(int)),
     trace=optional(instance_of(bool)),
+    stats_cache=instance_of(bool),
 )
 def valmod(
     series: FloatArray,
@@ -332,6 +357,7 @@ def valmod(
     track_top_k: int = 0,
     n_jobs: Optional[int] = 1,
     trace: Optional[bool] = None,
+    stats_cache: bool = True,
 ) -> ValmodResult:
     """Functional entry point: run VALMOD with default settings.
 
@@ -346,5 +372,5 @@ def valmod(
     """
     return Valmod(
         series, l_min, l_max, p=p, track_top_k=track_top_k, n_jobs=n_jobs,
-        trace=trace,
+        trace=trace, stats_cache=stats_cache,
     ).run()

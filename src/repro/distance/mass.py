@@ -8,7 +8,7 @@ of STAMP and the recomputation primitive of VALMOD's Algorithm 4 (lines
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -20,19 +20,31 @@ from repro.distance.sliding import moving_mean_std, sliding_dot_product
 from repro.exceptions import InvalidParameterError
 from repro.lint.contracts import int_at_least, positive_int, require, series_like
 
+if TYPE_CHECKING:  # pragma: no cover - kernels sits above this layer
+    from repro.kernels.context import SeriesContext
+
 __all__ = ["mass", "mass_with_stats"]
 
 
 @require(series=series_like(), start=int_at_least(0), length=positive_int())
-def mass(series: FloatArray, start: int, length: int) -> FloatArray:
+def mass(
+    series: FloatArray,
+    start: int,
+    length: int,
+    context: Optional["SeriesContext"] = None,
+) -> FloatArray:
     """Distance profile of ``series[start : start + length]`` vs all windows.
 
-    Convenience wrapper that computes the window statistics internally;
+    Convenience wrapper that computes the window statistics internally
+    (or pulls them from ``context`` when one for this series is passed);
     use :func:`mass_with_stats` inside loops that already have them.
     """
     t = np.asarray(series, dtype=np.float64)
-    mu, sigma = moving_mean_std(t, length)
-    return mass_with_stats(t, start, length, mu, sigma)
+    if context is not None and context.matches(t):
+        mu, sigma = context.moving_mean_std(length)
+    else:
+        mu, sigma = moving_mean_std(t, length)
+    return mass_with_stats(t, start, length, mu, sigma, context=context)
 
 
 def mass_with_stats(
@@ -42,12 +54,16 @@ def mass_with_stats(
     mu: FloatArray,
     sigma: FloatArray,
     qt: Optional[FloatArray] = None,
+    context: Optional["SeriesContext"] = None,
 ) -> FloatArray:
     """MASS with precomputed per-window statistics (and optionally QT).
 
     ``mu`` / ``sigma`` must be the length-``length`` moving statistics of
     ``series``.  Passing ``qt`` skips the FFT (used by engines that
-    maintain dot products incrementally).
+    maintain dot products incrementally); passing ``context`` reuses the
+    cached series spectrum for the FFT (duck-typed so the distance layer
+    never imports :mod:`repro.kernels` — any object with a matching
+    ``matches``/``sliding_dot_product`` works).
     """
     t = np.asarray(series, dtype=np.float64)
     n_subs = t.size - length + 1
@@ -61,7 +77,11 @@ def mass_with_stats(
         )
     obs.add("mass.profile_calls")
     if qt is None:
-        qt = sliding_dot_product(t[start : start + length], t)
+        query = t[start : start + length]
+        if context is not None and context.matches(t):
+            qt = context.sliding_dot_product(query)
+        else:
+            qt = sliding_dot_product(query, t)
     return distance_profile_from_qt(
         qt, length, float(mu[start]), float(sigma[start]), mu, sigma
     )

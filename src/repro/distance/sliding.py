@@ -16,17 +16,19 @@ subsequence length grows (Algorithm 4 needs this).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro import obs
-from repro.types import FloatArray
+from repro.types import ComplexArray, FloatArray
 
 from repro.exceptions import InvalidParameterError
 from repro.distance.znorm import CONSTANT_EPS, as_series
 
 __all__ = [
+    "DIRECT_DOT_MAX",
+    "fft_plan_size",
     "sliding_dot_product",
     "moving_mean_std",
     "prefix_sums",
@@ -34,14 +36,39 @@ __all__ = [
     "window_sums_at",
 ]
 
+#: queries at or below this length use direct correlation instead of the
+#: FFT path.  Exposed so :class:`repro.kernels.context.SeriesContext` can
+#: predict which calls will consult its cached series spectrum.
+DIRECT_DOT_MAX = 64
 
-def sliding_dot_product(query: FloatArray, series: FloatArray) -> FloatArray:
+
+def fft_plan_size(n: int, m: int) -> int:
+    """Zero-padded FFT length used for an ``(n, m)`` sliding dot product.
+
+    The next power of two at or above ``n + m``.  One source of truth for
+    the plan size so a cached series spectrum (``SeriesContext``) is keyed
+    exactly the way :func:`sliding_dot_product` would compute it.
+    """
+    return 1 << int(np.ceil(np.log2(n + m)))
+
+
+def sliding_dot_product(
+    query: FloatArray,
+    series: FloatArray,
+    series_fft: Optional[ComplexArray] = None,
+) -> FloatArray:
     """Dot product of ``query`` with every window of ``series``.
 
     Returns a vector ``QT`` of length ``n - m + 1`` with
     ``QT[j] = sum(query * series[j : j + m])``, computed by FFT
     convolution.  For short queries NumPy's direct correlate is faster and
     exact, so we pick per call.
+
+    ``series_fft`` may carry a precomputed ``np.fft.rfft(series, size)``
+    with ``size = fft_plan_size(n, m)`` — the series half of the
+    convolution is then reused instead of recomputed, and the result is
+    bitwise identical to the uncached path (the transform is deterministic
+    in its inputs).  Ignored on the direct-correlation path.
     """
     q = np.asarray(query, dtype=np.float64)
     t = np.asarray(series, dtype=np.float64)
@@ -53,14 +80,22 @@ def sliding_dot_product(query: FloatArray, series: FloatArray) -> FloatArray:
         raise InvalidParameterError(
             f"query (length {m}) longer than series (length {n})"
         )
-    if m <= 64:
+    if m <= DIRECT_DOT_MAX:
         # Direct correlation: exact and fast for short queries.
         obs.add("mass.direct_dot_calls")
         return np.correlate(t, q, mode="valid")
     obs.add("mass.fft_calls")
-    size = 1 << int(np.ceil(np.log2(n + m)))
+    size = fft_plan_size(n, m)
     fq = np.fft.rfft(q[::-1], size)
-    ft = np.fft.rfft(t, size)
+    if series_fft is None:
+        ft = np.fft.rfft(t, size)
+    else:
+        ft = series_fft
+        if ft.size != size // 2 + 1:
+            raise InvalidParameterError(
+                f"series_fft has {ft.size} bins but plan size {size} "
+                f"needs {size // 2 + 1}"
+            )
     conv = np.fft.irfft(fq * ft, size)
     return conv[m - 1 : n]
 

@@ -61,10 +61,17 @@ def _run_valmod(
     p: int,
     deadline: float,
     n_jobs: Optional[int] = 1,
+    stats_cache: bool = True,
 ):
     # VALMOD has no internal deadline: it is the fast competitor and its
     # worst case is bounded by the STOMP fallback it already contains.
-    return Valmod(series, l_min, l_max, p=p, n_jobs=n_jobs).run().motif_pairs
+    return (
+        Valmod(
+            series, l_min, l_max, p=p, n_jobs=n_jobs, stats_cache=stats_cache
+        )
+        .run()
+        .motif_pairs
+    )
 
 
 def _run_stomp(
@@ -74,6 +81,7 @@ def _run_stomp(
     p: int,
     deadline: float,
     n_jobs: Optional[int] = 1,
+    stats_cache: bool = True,
 ):
     return stomp_range(series, l_min, l_max, deadline=deadline, n_jobs=n_jobs)
 
@@ -85,6 +93,7 @@ def _run_moen(
     p: int,
     deadline: float,
     n_jobs: Optional[int] = 1,
+    stats_cache: bool = True,
 ):
     return moen(series, l_min, l_max, deadline=deadline)
 
@@ -96,6 +105,7 @@ def _run_quick_motif(
     p: int,
     deadline: float,
     n_jobs: Optional[int] = 1,
+    stats_cache: bool = True,
 ):
     return quick_motif(series, l_min, l_max, deadline=deadline)
 
@@ -116,6 +126,7 @@ def run_algorithm(
     p: int = 50,
     timeout_seconds: float = 120.0,
     n_jobs: Optional[int] = 1,
+    stats_cache: bool = True,
 ) -> RunOutcome:
     """Run one competitor under a wall-clock budget.
 
@@ -124,7 +135,8 @@ def run_algorithm(
     budget passes — the same semantics as killing a C process.
     ``n_jobs`` reaches the competitors that parallelize (VALMOD's full
     matrix-profile passes and STOMP-per-length); serial-only baselines
-    ignore it.
+    ignore it.  ``stats_cache=False`` disables VALMOD's shared series
+    stats/FFT cache (ablation; identical results, different timings).
     """
     if name not in ALGORITHMS:
         raise InvalidParameterError(
@@ -141,7 +153,10 @@ def run_algorithm(
         return _counter_delta(before, obs.get_tracer().counters())
 
     try:
-        pairs = ALGORITHMS[name](series, l_min, l_max, p, deadline, n_jobs=n_jobs)
+        pairs = ALGORITHMS[name](
+            series, l_min, l_max, p, deadline, n_jobs=n_jobs,
+            stats_cache=stats_cache,
+        )
     except BudgetExceededError:
         return RunOutcome(
             algorithm=name,

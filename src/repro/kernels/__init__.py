@@ -1,0 +1,29 @@
+"""``repro.kernels`` — shared per-series state and blocked compute kernels.
+
+Two layers the whole compute stack builds on (see ``docs/KERNELS.md``):
+
+:mod:`repro.kernels.context`
+    :class:`~repro.kernels.context.SeriesContext`, the per-series cache of
+    window statistics (one ``moving_mean_std`` per length) and FFT plans
+    (one ``rfft`` of the padded series per plan size), threaded through
+    every engine and both VALMOD sweep layers as an optional argument.
+:mod:`repro.kernels.blocked`
+    :func:`~repro.kernels.blocked.blocked_stomp`, the blocked diagonal
+    STOMP backend (``engine="blocked-stomp"``): the QT recurrence as a
+    sheared block cumulative sum, Eq.-3 evaluated block-wide in
+    correlation space, optional float32 scoring with float64 verify.
+
+Layering: this package imports only :mod:`repro.distance`, :mod:`repro.obs`
+and the foundation modules at import time (engine types are resolved
+lazily), so engines above it can import :class:`SeriesContext` freely.
+"""
+
+from repro.kernels.context import SeriesContext, ensure_context
+from repro.kernels.blocked import DEFAULT_BLOCK_ROWS, blocked_stomp
+
+__all__ = [
+    "SeriesContext",
+    "ensure_context",
+    "DEFAULT_BLOCK_ROWS",
+    "blocked_stomp",
+]

@@ -1,0 +1,327 @@
+"""Blocked diagonal STOMP: the QT recurrence vectorized over row blocks.
+
+Serial STOMP (:mod:`repro.matrixprofile.stomp`) pays one Python iteration
+per row, and inside it roughly a dozen full-row NumPy temporaries: the
+rolling update allocates four scratch vectors, Eq. 3 normalizes, clips,
+masks and square-roots the whole row, and only then an argmin runs.  On a
+single core the run is memory-bound — the distance work streams several
+freshly allocated row-sized arrays per row.
+
+This kernel restructures the work around blocks of ``B = block_rows``
+rows.  In *sheared* coordinates the rolling update loses its column
+shift: with ``S[k, m] = QT[r0 + k][m + k]`` the recurrence
+
+    QT[i][j] = QT[i-1][j-1] - t[i-1] t[j-1] + t[i+l-1] t[j+l-1]
+
+reads ``S[k] = S[k-1] + delta_k`` where every ``delta_k`` is a plain
+window of the (padded) series times two scalars — zero-copy sliding
+windows shared by the whole block.  Per block the kernel therefore:
+
+* builds each increment row with two full-width multiplies of the
+  block's shared window views (no shifted reads, no per-row slicing
+  arithmetic), seeds the diagonal entering at column 0 from
+  ``qt_first``, and accumulates it onto its predecessor while both rows
+  are cache-resident — the block-chained cumulative sum of the shear;
+* scores each accumulated row against per-column factors computed once
+  per call, in *ranking* space: ``rank_j = QT_j / sigma_j - mu_i l
+  mu_j / sigma_j`` equals ``corr_ij * l * sigma_i``, a positive per-row
+  multiple of the correlation, so its argmax is the row's nearest
+  neighbor and only the B winning cells ever pay the clip/sqrt of
+  Eq. 3.  All scratch buffers are preallocated once per call.
+
+Numerical behavior:
+
+* The QT recurrence stays in float64 and the re-anchoring schedule of
+  :func:`repro.matrixprofile.stomp.stomp_reanchor_rows` is honored by
+  force-starting a new block (with an exactly summed row) at every anchor
+  row, so the drift bound of the serial engine applies per block chain.
+  Within a block the sheared accumulation groups the additions
+  differently than the serial per-row update, so results agree with
+  serial STOMP to rounding (and with ``brute`` within the differential
+  harness tolerance), not bitwise.
+* ``precision="float32"`` keeps the recurrence and the cancellation-prone
+  centering ``QT - l mu_i mu_j`` in float64, demotes only the scaled
+  ranking scores to float32, and re-scores every candidate column — all
+  columns within :data:`F32_SCORE_MARGIN` (in correlation units) of the
+  float32 row maximum — in float64 before the winner is chosen; rows
+  with more than :data:`F32_CANDIDATE_CAP` candidates fall back to an
+  exact full-row float64 rescore.  Reported distances are always
+  float64.  This path exists to bound the cost of reduced-precision
+  scoring (and as scaffolding for accelerators whose fast path is
+  float32); on CPU it is not faster than the float64 path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.types import FloatArray
+
+from repro.distance.sliding import validate_subsequence_length
+from repro.distance.znorm import CONSTANT_EPS
+from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
+from repro.lint.contracts import ensure, no_nan_profile, positive_int, require, series_like
+
+if TYPE_CHECKING:  # pragma: no cover - engines sit above this layer
+    from repro.matrixprofile.index import MatrixProfile
+
+__all__ = [
+    "blocked_stomp",
+    "DEFAULT_BLOCK_ROWS",
+    "F32_SCORE_MARGIN",
+    "F32_CANDIDATE_CAP",
+]
+
+#: default rows per block: large enough to amortize the block's shared
+#: window views and boundary handling over tens of thousands of cells,
+#: small enough that the two live scratch rows stay cache-resident.
+#: See docs/ENGINES.md for how to choose a different value.
+DEFAULT_BLOCK_ROWS = 64
+
+#: float32 verify margin, in correlation units: columns whose float32
+#: ranking score is within ``margin * l * sigma_i`` of the row maximum
+#: are re-scored in float64.  Two orders of magnitude above the float32
+#: rounding of a well-scaled score.
+F32_SCORE_MARGIN = 3e-5
+
+#: candidate-set size above which the float32 path re-scores the whole
+#: row in float64 (cheaper and exact for, e.g., constant-heavy rows
+#: where many columns tie at the conventional score).
+F32_CANDIDATE_CAP = 64
+
+
+def _finish_value(
+    profile: FloatArray, index: np.ndarray, i: int, corr: float, j: int, length: int
+) -> None:
+    """Write one profile entry from the winning correlation."""
+    if not np.isfinite(corr):
+        profile[i] = np.inf
+        index[i] = -1
+        return
+    c = min(max(corr, -1.0), 1.0)
+    profile[i] = (max(2.0 * length * (1.0 - c), 0.0)) ** 0.5
+    index[i] = j
+
+
+@require(series=series_like(min_length=4), length=positive_int())
+@ensure(no_nan_profile)
+def blocked_stomp(
+    series: FloatArray,
+    length: int,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+    precision: str = "float64",
+    context: Optional[SeriesContext] = None,
+) -> "MatrixProfile":
+    """Compute the full matrix profile with the blocked STOMP kernel.
+
+    Parameters
+    ----------
+    block_rows:
+        Rows advanced per sheared block (``B``).  ``B=1`` degenerates to
+        a rowwise schedule; any ``B`` larger than the number of
+        subsequences processes everything in one block.  All block sizes
+        produce the same profile up to rounding.
+    precision:
+        ``"float64"`` (default) or ``"float32"`` — see the module
+        docstring for the float32 verify semantics.
+    context:
+        Optional :class:`SeriesContext`; pass one to reuse cached window
+        statistics and the cached series FFT across calls and lengths.
+    """
+    # Engines live in repro.matrixprofile, above this package at import
+    # time (stomp imports SeriesContext); resolve them at call time.
+    from repro.matrixprofile.exclusion import contributing_cells, exclusion_zone_half_width
+    from repro.matrixprofile.index import MatrixProfile
+    from repro.matrixprofile.stomp import exact_qt_row, stomp_reanchor_rows
+
+    if block_rows < 1:
+        raise InvalidParameterError(
+            f"block_rows must be at least 1, got {block_rows}"
+        )
+    if precision not in ("float64", "float32"):
+        raise InvalidParameterError(
+            f"precision must be 'float64' or 'float32', got {precision!r}"
+        )
+    use_f32 = precision == "float32"
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
+    n = t.size
+    n_subs = validate_subsequence_length(n, length)
+    mu, sigma = ctx.moving_mean_std(length)
+    zone = exclusion_zone_half_width(length)
+    qt_first = ctx.sliding_dot_product(t[:length])
+    anchors = stomp_reanchor_rows(t, length, sigma)
+    anchor_list = [int(a) for a in anchors]
+    anchor_set = frozenset(anchor_list)
+
+    # Per-column ranking factors, computed once per call:
+    #   rank[i, j] = QT[i, j] * c1[j] - mu_i * c2[j] = corr_ij * l * sigma_i
+    invsig = 1.0 / np.maximum(sigma, CONSTANT_EPS)
+    c1 = invsig
+    lmu = length * mu
+    c2 = lmu * invsig
+    window_const = sigma < CONSTANT_EPS
+    any_window_const = bool(window_const.any())
+    inv_l = 1.0 / length
+
+    if obs.enabled():
+        obs.add("engine.rows", n_subs)
+        obs.add("engine.cells", contributing_cells(n_subs, zone))
+        obs.add("kernel.reanchor_rows", len(anchor_list))
+        obs.gauge("kernel.block_rows", block_rows)
+
+    # Padded series: tp[x + pad] == t[x], zeros outside.  Lets the sheared
+    # increment rows be plain windows even where they cover out-of-range
+    # diagonals (those cells only pollute rows that are never extracted).
+    pad = min(block_rows, n_subs)
+    tp = np.zeros(n + 2 * pad, dtype=np.float64)
+    tp[pad : pad + n] = t
+    win = np.lib.stride_tricks.sliding_window_view
+
+    # Scratch, allocated once per call and reused by every block.
+    width_max = n_subs + pad - 1
+    block = np.empty((pad, width_max), dtype=np.float64)
+    tmprow = np.empty(width_max, dtype=np.float64)
+    buf = np.empty(n_subs, dtype=np.float64)
+    buf2 = np.empty(n_subs, dtype=np.float64)
+    if use_f32:
+        c1_32 = c1.astype(np.float32)
+        buf32 = np.empty(n_subs, dtype=np.float32)
+
+    profile = np.empty(n_subs, dtype=np.float64)
+    index = np.empty(n_subs, dtype=np.int64)
+    heads = t[: n_subs - 1]
+    tails = t[length : length + n_subs - 1]
+
+    carry: Optional[FloatArray] = None
+    blocks = 0
+    f32_verified = 0
+    with obs.span("engine.blocked_stomp"):
+        r0 = 0
+        next_anchor = 0
+        while r0 < n_subs:
+            r1 = min(r0 + block_rows, n_subs)
+            # The drift schedule is respected at block boundaries: every
+            # anchor row starts a new block with an exactly summed row.
+            while next_anchor < len(anchor_list) and anchor_list[next_anchor] <= r0:
+                next_anchor += 1
+            if next_anchor < len(anchor_list) and anchor_list[next_anchor] < r1:
+                r1 = anchor_list[next_anchor]
+            b_rows = r1 - r0
+            width = n_subs + b_rows - 1
+            blocks += 1
+
+            # --- row r0 of the block: full QT via the serial update ----
+            if r0 == 0:
+                row0 = qt_first
+            elif r0 in anchor_set:
+                row0 = exact_qt_row(t, r0, length)
+                row0[0] = qt_first[r0]
+            else:
+                # carry is always set here: every non-anchor r0 > 0 follows
+                # a completed block that stored its last QT row.
+                np.subtract(carry[:-1], heads * t[r0 - 1], out=buf2[1:])
+                buf2[1:] += tails * t[r0 + length - 1]
+                buf2[0] = qt_first[r0]
+                row0 = buf2
+            s = block[:b_rows, :width]
+            s[0, : b_rows - 1] = 0.0
+            s[0, b_rows - 1 :] = row0[:n_subs]
+
+            # Shared zero-copy window views for the block's increments.
+            if b_rows > 1:
+                base = pad - b_rows
+                m1 = win(tp, width)[base + 1 : base + b_rows]
+                m2 = win(tp[length:], width)[base + 1 : base + b_rows]
+                a_coef = t[r0 : r1 - 1]
+                b_coef = t[r0 + length : r1 + length - 1]
+
+            # --- build, accumulate and score row by row ----------------
+            # Each row is materialized, chained onto its predecessor and
+            # scored while both stay cache-hot; the shear keeps every
+            # operation a full-width contiguous vector op.
+            for k in range(b_rows):
+                i = r0 + k
+                shift = b_rows - 1 - k
+                if k > 0:
+                    row = s[k]
+                    np.multiply(m1[k - 1], -a_coef[k - 1], out=row)
+                    np.multiply(m2[k - 1], b_coef[k - 1], out=tmprow[:width])
+                    row += tmprow[:width]
+                    # Seed the diagonal entering at column 0, zero the
+                    # j < 0 cells, then advance the sheared cumsum.
+                    row[:shift] = 0.0
+                    row[shift] = qt_first[i]
+                    row += s[k - 1]
+                qt_row = s[k, shift : shift + n_subs]
+                lo = max(0, i - zone + 1)
+                hi = min(n_subs, i + zone)
+                if window_const[i]:
+                    # Constant query: distance 0 to constant windows,
+                    # sqrt(l) to everything else (scale-free ranking).
+                    buf.fill(0.5)
+                    if any_window_const:
+                        buf[window_const] = 1.0
+                    buf[lo:hi] = -np.inf
+                    j = int(np.argmax(buf))
+                    _finish_value(profile, index, i, float(buf[j]), j, length)
+                    continue
+                if use_f32:
+                    # Center in float64 (cancellation-prone), demote the
+                    # scaled scores, select in float32, verify in float64.
+                    np.multiply(lmu, mu[i], out=buf2)
+                    np.subtract(qt_row, buf2, out=buf)
+                    np.multiply(buf, c1_32, out=buf32)
+                    if any_window_const:
+                        buf32[window_const] = np.float32(0.5 * length * sigma[i])
+                    buf32[lo:hi] = -np.inf
+                    top = buf32[int(np.argmax(buf32))]
+                    if not np.isfinite(top):
+                        _finish_value(profile, index, i, -np.inf, -1, length)
+                        continue
+                    margin = np.float32(F32_SCORE_MARGIN * length * sigma[i])
+                    cand = np.nonzero(buf32 >= top - margin)[0]
+                    if cand.size > F32_CANDIDATE_CAP:
+                        np.multiply(buf, c1, out=buf2)
+                        if any_window_const:
+                            buf2[window_const] = 0.5 * length * sigma[i]
+                        buf2[lo:hi] = -np.inf
+                        j = int(np.argmax(buf2))
+                        best = float(buf2[j])
+                        f32_verified += n_subs
+                    else:
+                        exact = buf[cand] * c1[cand]
+                        if any_window_const:
+                            wc = window_const[cand]
+                            if wc.any():
+                                exact[wc] = 0.5 * length * sigma[i]
+                        pick = int(np.argmax(exact))
+                        j = int(cand[pick])
+                        best = float(exact[pick])
+                        f32_verified += int(cand.size)
+                    _finish_value(
+                        profile, index, i, best * invsig[i] * inv_l, j, length
+                    )
+                    continue
+                np.multiply(qt_row, c1, out=buf)
+                np.multiply(c2, mu[i], out=buf2)
+                buf -= buf2
+                if any_window_const:
+                    buf[window_const] = 0.5 * length * sigma[i]
+                buf[lo:hi] = -np.inf
+                j = int(np.argmax(buf))
+                _finish_value(
+                    profile, index, i, float(buf[j]) * invsig[i] * inv_l, j, length
+                )
+            carry = np.array(s[b_rows - 1, :n_subs])
+            r0 = r1
+
+    if obs.enabled():
+        obs.add("kernel.blocks", blocks)
+        if use_f32:
+            obs.add("kernel.f32.verified_cells", f32_verified)
+    return MatrixProfile(profile=profile, index=index, length=length)

@@ -1,4 +1,4 @@
-"""Rule registry: one module per kernel invariant, R001–R007."""
+"""Rule registry: one module per kernel invariant, R001–R008."""
 
 from __future__ import annotations
 
@@ -12,6 +12,7 @@ from repro.lint.rules.r004_exclusion import ExclusionZoneRule
 from repro.lint.rules.r005_determinism import WorkerDeterminismRule
 from repro.lint.rules.r006_dtype import DtypeDisciplineRule
 from repro.lint.rules.r007_obs_layering import ObsLayeringRule
+from repro.lint.rules.r008_context_stats import ContextStatsRule
 
 __all__ = ["all_rules"]
 
@@ -26,4 +27,5 @@ def all_rules() -> List[Rule]:
         WorkerDeterminismRule(),
         DtypeDisciplineRule(),
         ObsLayeringRule(),
+        ContextStatsRule(),
     ]

@@ -18,12 +18,9 @@ from typing import Tuple
 import numpy as np
 
 from repro.distance.profile import distance_profile_from_qt
-from repro.distance.sliding import (
-    moving_mean_std,
-    sliding_dot_product,
-)
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import ensure_context
 from repro.matrixprofile.index import MatrixProfile
 from repro.types import MotifPair
 
@@ -48,12 +45,13 @@ def stomp_ab_join(
         )
     n_a = a.size - length + 1
     n_b = b.size - length + 1
-    mu_a, sigma_a = moving_mean_std(a, length)
-    mu_b, sigma_b = moving_mean_std(b, length)
+    ctx_b = ensure_context(b)
+    mu_a, sigma_a = ensure_context(a).moving_mean_std(length)
+    mu_b, sigma_b = ctx_b.moving_mean_std(length)
 
     profile = np.empty(n_a, dtype=np.float64)
     index = np.empty(n_a, dtype=np.int64)
-    qt_first = sliding_dot_product(a[:length], b)
+    qt_first = ctx_b.sliding_dot_product(a[:length])
     qt = qt_first.copy()
     heads = b[: n_b - 1]
     tails = b[length : length + n_b - 1]

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distance.sliding import moving_mean_std, validate_subsequence_length
-from repro.distance.znorm import as_series
+from repro.distance.sliding import validate_subsequence_length
+from repro.kernels.context import SeriesContext
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 from repro.matrixprofile.stomp import iterate_stomp_rows
@@ -54,11 +54,14 @@ class LeftRightProfiles:
         )
 
 
-def stomp_left_right(series: np.ndarray, length: int) -> LeftRightProfiles:
+def stomp_left_right(
+    series: np.ndarray, length: int, context: "SeriesContext | None" = None
+) -> LeftRightProfiles:
     """One STOMP sweep producing the full, left, and right profiles."""
-    t = as_series(series, min_length=4)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ctx.moving_mean_std(length)
     zone = exclusion_zone_half_width(length)
 
     profile = np.full(n_subs, np.inf, dtype=np.float64)
@@ -68,7 +71,7 @@ def stomp_left_right(series: np.ndarray, length: int) -> LeftRightProfiles:
     right_profile = np.full(n_subs, np.inf, dtype=np.float64)
     right_index = np.full(n_subs, -1, dtype=np.int64)
 
-    for i, _, row in iterate_stomp_rows(t, length, mu, sigma):
+    for i, _, row in iterate_stomp_rows(t, length, mu, sigma, context=ctx):
         j = int(np.argmin(row))
         if np.isfinite(row[j]):
             profile[i] = row[j]

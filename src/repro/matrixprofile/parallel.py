@@ -55,13 +55,10 @@ import numpy as np
 from repro import obs
 from repro.types import FloatArray, IntArray
 
-from repro.distance.sliding import (
-    moving_mean_std,
-    sliding_dot_product,
-    validate_subsequence_length,
-)
-from repro.distance.znorm import CONSTANT_EPS, as_series
+from repro.distance.sliding import validate_subsequence_length
+from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import (
     ensure,
     instance_of,
@@ -418,6 +415,7 @@ def parallel_stomp(
     length: int,
     n_jobs: Optional[int] = None,
     n_chunks: Optional[int] = None,
+    context: Optional[SeriesContext] = None,
 ) -> MatrixProfile:
     """Matrix profile via diagonal chunks across worker processes.
 
@@ -436,14 +434,15 @@ def parallel_stomp(
         Number of diagonal chunks (defaults to the worker count).  More
         chunks than workers simply queue; results never depend on it.
     """
-    t = as_series(series, min_length=4)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
     jobs = resolve_n_jobs(n_jobs)
     if n_chunks is None:
         n_chunks = jobs
     zone = exclusion_zone_half_width(length)
-    mu, sigma = moving_mean_std(t, length)
-    qt_first = sliding_dot_product(t[:length], t)
+    mu, sigma = ctx.moving_mean_std(length)
+    qt_first = ctx.sliding_dot_product(t[:length])
     anchors = stomp_reanchor_rows(t, length, sigma)
     ranges = split_diagonals(n_subs, zone, n_chunks)
     if not ranges:

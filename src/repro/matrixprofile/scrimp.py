@@ -30,9 +30,10 @@ from repro.types import FloatArray
 
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
-from repro.distance.sliding import moving_mean_std, validate_subsequence_length
-from repro.distance.znorm import CONSTANT_EPS, as_series
+from repro.distance.sliding import validate_subsequence_length
+from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import (
     ensure,
     no_nan_profile,
@@ -89,6 +90,7 @@ def scrimp(
     length: int,
     fraction: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    context: Optional[SeriesContext] = None,
 ) -> MatrixProfile:
     """Matrix profile by diagonal traversal.
 
@@ -101,11 +103,12 @@ def scrimp(
     rng:
         Diagonal visiting order for anytime runs; nearest-first when None.
     """
-    t = as_series(series, min_length=4)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
     if not 0.0 < fraction <= 1.0:
         raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ctx.moving_mean_std(length)
     zone = exclusion_zone_half_width(length)
     profile = np.full(n_subs, np.inf, dtype=np.float64)
     index = np.full(n_subs, -1, dtype=np.int64)
@@ -147,6 +150,7 @@ def pre_scrimp(
     series: FloatArray,
     length: int,
     stride: Optional[int] = None,
+    context: Optional[SeriesContext] = None,
 ) -> MatrixProfile:
     """PRE-SCRIMP: the O(n^2 / s) approximate warm-up phase.
 
@@ -155,7 +159,8 @@ def pre_scrimp(
     in between (shifting both windows together keeps them similar) — the
     published algorithm's "anytime seed".  Entries are upper bounds.
     """
-    t = as_series(series, min_length=4)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
     if stride is None:
         # PRE-SCRIMP's published sampling stride happens to be l/2 but it
@@ -163,13 +168,13 @@ def pre_scrimp(
         stride = max(1, length // 2)  # repro-lint: ignore[R004]
     if stride <= 0:
         raise InvalidParameterError(f"stride must be positive, got {stride}")
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ctx.moving_mean_std(length)
     zone = exclusion_zone_half_width(length)
     profile = np.full(n_subs, np.inf, dtype=np.float64)
     index = np.full(n_subs, -1, dtype=np.int64)
 
     for anchor in range(0, n_subs, stride):
-        row = mass_with_stats(t, anchor, length, mu, sigma)
+        row = mass_with_stats(t, anchor, length, mu, sigma, context=ctx)
         apply_exclusion_zone(row, anchor, zone)
         j = int(np.argmin(row))
         if not np.isfinite(row[j]):

@@ -18,9 +18,9 @@ from repro.types import FloatArray
 
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
-from repro.distance.sliding import moving_mean_std, validate_subsequence_length
-from repro.distance.znorm import as_series
+from repro.distance.sliding import validate_subsequence_length
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import (
     ensure,
     no_nan_profile,
@@ -46,6 +46,7 @@ def stamp(
     length: int,
     max_rows: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    context: Optional[SeriesContext] = None,
 ) -> MatrixProfile:
     """Compute the matrix profile with STAMP.
 
@@ -65,9 +66,10 @@ def stamp(
     both the query row and all its matches, convergence is fast in
     practice — the property the paper leans on.
     """
-    t = as_series(series, min_length=4)
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ctx.moving_mean_std(length)
     zone = exclusion_zone_half_width(length)
     profile = np.full(n_subs, np.inf, dtype=np.float64)
     index = np.full(n_subs, -1, dtype=np.int64)
@@ -94,7 +96,7 @@ def stamp(
         obs.add("stamp.mass_rows", int(visited.size))
     with obs.span("engine.stamp"):
         for i in order:
-            row = mass_with_stats(t, int(i), length, mu, sigma)
+            row = mass_with_stats(t, int(i), length, mu, sigma, context=ctx)
             apply_exclusion_zone(row, int(i), zone)
             # Update the query row ...
             j = int(np.argmin(row))

@@ -36,13 +36,10 @@ from repro import obs
 from repro.types import FloatArray, IntArray
 
 from repro.distance.profile import apply_exclusion_zone, distance_profile_from_qt
-from repro.distance.sliding import (
-    moving_mean_std,
-    sliding_dot_product,
-    validate_subsequence_length,
-)
-from repro.distance.znorm import CONSTANT_EPS, as_series
+from repro.distance.sliding import sliding_dot_product, validate_subsequence_length
+from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import ensure, no_nan_profile, positive_int, require, series_like
 from repro.matrixprofile.exclusion import contributing_cells, exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
@@ -122,6 +119,7 @@ def iterate_stomp_rows(
     sigma: FloatArray,
     apply_exclusion: bool = True,
     row_range: Optional[Tuple[int, int]] = None,
+    context: Optional[SeriesContext] = None,
 ) -> Iterator[Tuple[int, FloatArray, FloatArray]]:
     """Yield ``(i, qt, distance_profile)`` for every query ``i``.
 
@@ -146,7 +144,10 @@ def iterate_stomp_rows(
             f"row_range {row_range!r} out of bounds for {n_subs} rows"
         )
     zone = exclusion_zone_half_width(length)
-    qt_first = sliding_dot_product(t[:length], t)
+    if context is not None and context.matches(t):
+        qt_first = context.sliding_dot_product(t[:length])
+    else:
+        qt_first = sliding_dot_product(t[:length], t)
     qt = qt_first.copy()
     anchors = stomp_reanchor_rows(t, length, sigma)
     anchor_pos = 0
@@ -175,11 +176,21 @@ def iterate_stomp_rows(
 
 @require(series=series_like(min_length=4), length=positive_int())
 @ensure(no_nan_profile)
-def stomp(series: FloatArray, length: int) -> MatrixProfile:
-    """Compute the full matrix profile with STOMP."""
-    t = as_series(series, min_length=4)
+def stomp(
+    series: FloatArray,
+    length: int,
+    context: Optional[SeriesContext] = None,
+) -> MatrixProfile:
+    """Compute the full matrix profile with STOMP.
+
+    ``context`` optionally carries a :class:`SeriesContext` for this
+    series; its cached window statistics and series FFT are then reused
+    (results are identical either way).
+    """
+    ctx = SeriesContext.ensure(series, context, min_length=4)
+    t = ctx.series
     n_subs = validate_subsequence_length(t.size, length)
-    mu, sigma = moving_mean_std(t, length)
+    mu, sigma = ctx.moving_mean_std(length)
     if obs.enabled():
         anchors = stomp_reanchor_rows(t, length, sigma)
         obs.add("engine.rows", n_subs)
@@ -192,7 +203,7 @@ def stomp(series: FloatArray, length: int) -> MatrixProfile:
     profile = np.empty(n_subs, dtype=np.float64)
     index = np.empty(n_subs, dtype=np.int64)
     with obs.span("engine.stomp"):
-        for i, _, row in iterate_stomp_rows(t, length, mu, sigma):
+        for i, _, row in iterate_stomp_rows(t, length, mu, sigma, context=ctx):
             j = int(np.argmin(row))
             profile[i] = row[j]
             index[i] = j if np.isfinite(row[j]) else -1

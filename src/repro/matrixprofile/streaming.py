@@ -20,8 +20,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.distance.profile import distance_profile_from_qt
-from repro.distance.sliding import sliding_dot_product
 from repro.distance.znorm import as_series
+from repro.kernels.context import ensure_context
 from repro.exceptions import InvalidParameterError, NotComputedError
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
@@ -61,10 +61,11 @@ class StreamingMatrixProfile:
         n_subs = t.size - self.length + 1
         from repro.matrixprofile.stomp import stomp
 
-        mp = stomp(t, self.length)
+        ctx = ensure_context(t)
+        mp = stomp(t, self.length, context=ctx)
         self._profile = mp.profile.copy()
         self._index = mp.index.copy()
-        self._last_qt = sliding_dot_product(t[n_subs - 1 :], t)
+        self._last_qt = ctx.sliding_dot_product(t[n_subs - 1 :])
 
     def __len__(self) -> int:
         return len(self._values)
@@ -99,9 +100,7 @@ class StreamingMatrixProfile:
 
         # Statistics for all windows (O(n); a ring of running sums would
         # make this O(1) amortized — out of scope for clarity).
-        from repro.distance.sliding import moving_mean_std
-
-        mu, sigma = moving_mean_std(t, length)
+        mu, sigma = ensure_context(t).moving_mean_std(length)
         row = distance_profile_from_qt(
             qt, length, float(mu[new]), float(sigma[new]), mu, sigma
         )

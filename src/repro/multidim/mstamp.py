@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.distance.mass import mass_with_stats
 from repro.distance.profile import apply_exclusion_zone
-from repro.distance.sliding import moving_mean_std
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.kernels.context import ensure_context
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 
 __all__ = ["MultidimMatrixProfile", "MultidimMotif", "mstamp", "multidim_motifs"]
@@ -128,7 +128,10 @@ def mstamp(series: np.ndarray, length: int) -> MultidimMatrixProfile:
             f"length {length} invalid for a series of {n} points"
         )
     zone = exclusion_zone_half_width(length)
-    stats = [moving_mean_std(data[dim], length) for dim in range(d)]
+    # One context per dimension: each caches its stats and series FFT for
+    # the whole query loop below.
+    contexts = [ensure_context(data[dim]) for dim in range(d)]
+    stats = [ctx.moving_mean_std(length) for ctx in contexts]
 
     profile = np.full((d, n_subs), np.inf, dtype=np.float64)
     index = np.full((d, n_subs), -1, dtype=np.int64)
@@ -137,7 +140,9 @@ def mstamp(series: np.ndarray, length: int) -> MultidimMatrixProfile:
     for i in range(n_subs):
         for dim in range(d):
             mu, sigma = stats[dim]
-            per_dim[dim] = mass_with_stats(data[dim], i, length, mu, sigma)
+            per_dim[dim] = mass_with_stats(
+                data[dim], i, length, mu, sigma, context=contexts[dim]
+            )
         # Sort distances across dimensions per candidate position, then
         # prefix-average: row k-1 = best-k-dimensions mean distance.
         ordered = np.sort(per_dim, axis=0)

@@ -15,10 +15,10 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.distance.sliding import moving_mean_std, sliding_dot_product
 from repro.distance.profile import distance_profile_from_qt
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext, ensure_context
 from repro.matrixprofile.mpdist import mpdist
 
 __all__ = ["ConsensusMotif", "consensus_motif", "mpdist_matrix"]
@@ -36,11 +36,11 @@ class ConsensusMotif:
 
 
 def _min_distance_to(
-    query: np.ndarray, target: np.ndarray, length: int, stats
+    query: np.ndarray, target_ctx: SeriesContext, length: int, stats
 ) -> Tuple[float, int]:
     """Smallest z-normalized distance of one query within a target series."""
     mu, sigma = stats
-    qt = sliding_dot_product(query, target)
+    qt = target_ctx.sliding_dot_product(query)
     row = distance_profile_from_qt(
         qt, length, float(query.mean()), float(query.std()), mu, sigma
     )
@@ -66,7 +66,8 @@ def consensus_motif(
             raise InvalidParameterError(
                 f"length {length} invalid for a series of {s.size} points"
             )
-    all_stats = [moving_mean_std(s, length) for s in data]
+    contexts = [ensure_context(s) for s in data]
+    all_stats = [ctx.moving_mean_std(length) for ctx in contexts]
 
     best_radius = np.inf
     best: ConsensusMotif = None
@@ -82,7 +83,7 @@ def consensus_motif(
                 if other == source:
                     continue
                 d, j = _min_distance_to(
-                    query, data[other], length, all_stats[other]
+                    query, contexts[other], length, all_stats[other]
                 )
                 neighbors[other] = j
                 if d > radius:

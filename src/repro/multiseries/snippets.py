@@ -23,9 +23,9 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.distance.mass import mass_with_stats
-from repro.distance.sliding import moving_mean_std
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext, ensure_context
 
 __all__ = ["Snippet", "find_snippets"]
 
@@ -46,6 +46,7 @@ def _region_distance_curve(
     sub: int,
     mu: np.ndarray,
     sigma: np.ndarray,
+    context: SeriesContext = None,
 ) -> np.ndarray:
     """D(candidate, j) for every region start j (vectorized).
 
@@ -56,7 +57,9 @@ def _region_distance_curve(
     n_sub = t.size - sub + 1
     prof = np.full(n_sub, np.inf, dtype=np.float64)
     for offset in range(length - sub + 1):
-        row = mass_with_stats(t, candidate_start + offset, sub, mu, sigma)
+        row = mass_with_stats(
+            t, candidate_start + offset, sub, mu, sigma, context=context
+        )
         np.minimum(prof, row, out=prof)
     # Sliding mean of prof over each region's subwindow span.
     span = length - sub + 1
@@ -90,12 +93,15 @@ def find_snippets(
         raise InvalidParameterError(f"stride must be positive, got {stride}")
 
     sub = max(2, length // 2)
-    mu, sigma = moving_mean_std(t, sub)
+    ctx = ensure_context(t)
+    mu, sigma = ctx.moving_mean_std(sub)
     n_regions = t.size - length + 1
     candidates = list(range(0, n_regions, stride))
     curves = np.empty((len(candidates), n_regions), dtype=np.float64)
     for row, start in enumerate(candidates):
-        curves[row] = _region_distance_curve(t, start, length, sub, mu, sigma)
+        curves[row] = _region_distance_curve(
+            t, start, length, sub, mu, sigma, context=ctx
+        )
 
     chosen: List[int] = []
     covered = np.full(n_regions, np.inf, dtype=np.float64)

@@ -43,10 +43,11 @@ def series_to_shapelet_distance(series: np.ndarray, shapelet: np.ndarray) -> flo
     # MASS needs the query to come from the series; compute the profile
     # of the shapelet against the series directly instead.
     from repro.distance.profile import distance_profile_from_qt
-    from repro.distance.sliding import moving_mean_std, sliding_dot_product
+    from repro.kernels.context import ensure_context
 
-    mu, sigma = moving_mean_std(t, s.size)
-    qt = sliding_dot_product(s, t)
+    ctx = ensure_context(t)
+    mu, sigma = ctx.moving_mean_std(s.size)
+    qt = ctx.sliding_dot_product(s)
     profile = distance_profile_from_qt(
         qt, s.size, float(s.mean()), float(s.std()), mu, sigma
     )

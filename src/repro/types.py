@@ -29,6 +29,7 @@ __all__ = [
     "FloatArray",
     "IntArray",
     "BoolArray",
+    "ComplexArray",
     "SeriesLike",
 ]
 
@@ -36,6 +37,8 @@ __all__ = [
 FloatArray = NDArray[np.float64]
 #: int64 index buffer (profile indices, neighbor offsets).
 IntArray = NDArray[np.int64]
+#: complex128 spectrum buffer (cached ``rfft`` plans of a series).
+ComplexArray = NDArray[np.complex128]
 #: boolean mask over subsequence positions.
 BoolArray = NDArray[np.bool_]
 #: anything the public API accepts as a data series; the central

@@ -1,0 +1,13 @@
+"""R008 bad fixture: raw stats/FFT primitives outside distance/kernels."""
+
+import numpy as np
+
+from repro.distance.sliding import moving_mean_std
+
+
+def spectrum(series):
+    return np.fft.rfft(series)
+
+
+def stats(series, length):
+    return moving_mean_std(series, length)

@@ -1,0 +1,195 @@
+"""Differential tests for the blocked diagonal STOMP kernel.
+
+The blocked backend (``repro.kernels.blocked``) restates the QT
+recurrence as a sheared block cumulative sum; these tests pin it to the
+brute-force oracle across the full block-size spectrum — ``B=1`` (the
+rowwise degenerate), interior sizes, the default, and ``B`` larger than
+the number of subsequences (one giant block) — and pin the float32
+scoring path to the float64 one via the candidate-verify contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.distance.znorm import znormalized_distance
+from repro.exceptions import InvalidParameterError
+from repro.kernels import DEFAULT_BLOCK_ROWS, SeriesContext, blocked_stomp
+from repro.matrixprofile.brute import brute_force_matrix_profile
+from repro.matrixprofile.stomp import stomp, stomp_reanchor_rows
+
+ATOL = 1e-8
+
+
+def _random_walk():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(500).cumsum(), 32
+
+
+def _planted_motif():
+    rng = np.random.default_rng(7)
+    series = rng.standard_normal(500) * 0.3
+    pattern = np.sin(np.linspace(0.0, 4.0 * np.pi, 40))
+    series[70:110] += pattern * 3.0
+    series[300:340] += pattern * 3.0
+    return series, 24
+
+
+def _constant_segment():
+    rng = np.random.default_rng(13)
+    series = rng.standard_normal(400).cumsum()
+    series[150:210] = series[150]
+    return series, 20
+
+
+def _short_series():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal(20), 10
+
+
+FIXTURES = {
+    "random-walk": _random_walk,
+    "planted-motif": _planted_motif,
+    "constant-segment": _constant_segment,
+    "short": _short_series,
+}
+
+#: B=1 degenerates to rowwise, 7 is coprime with every anchor spacing,
+#: 64 is the default, 10_000 exceeds n_subs of every fixture.
+BLOCK_SIZES = (1, 7, DEFAULT_BLOCK_ROWS, 10_000)
+
+
+@pytest.fixture(scope="module")
+def oracles():
+    cache = {}
+    for name, make in FIXTURES.items():
+        series, length = make()
+        cache[name] = (series, length, brute_force_matrix_profile(series, length))
+    return cache
+
+
+def _assert_matches_oracle(series, length, mp, reference):
+    finite = np.isfinite(reference.profile)
+    assert np.array_equal(np.isfinite(mp.profile), finite)
+    np.testing.assert_allclose(
+        mp.profile[finite], reference.profile[finite], atol=ATOL, rtol=0.0
+    )
+    # Indices may differ from brute only at ties: the reported neighbor
+    # must realize the reported distance.
+    for i, j in enumerate(mp.index):
+        if j < 0:
+            assert not np.isfinite(mp.profile[i])
+            continue
+        d = znormalized_distance(series[i : i + length], series[j : j + length])
+        assert d == pytest.approx(float(reference.profile[i]), abs=1e-6)
+
+
+class TestBlockedVsBrute:
+    @pytest.mark.parametrize("fixture", sorted(FIXTURES))
+    @pytest.mark.parametrize("block_rows", BLOCK_SIZES)
+    def test_every_block_size_matches_brute(self, fixture, block_rows, oracles):
+        series, length, reference = oracles[fixture]
+        mp = blocked_stomp(series, length, block_rows=block_rows)
+        _assert_matches_oracle(series, length, mp, reference)
+
+    @pytest.mark.parametrize("fixture", sorted(FIXTURES))
+    def test_block_size_invariance(self, fixture, oracles):
+        """All block schedules agree with each other, not just the oracle."""
+        series, length, _ = oracles[fixture]
+        baseline = blocked_stomp(series, length, block_rows=1)
+        for block_rows in BLOCK_SIZES[1:]:
+            mp = blocked_stomp(series, length, block_rows=block_rows)
+            np.testing.assert_allclose(
+                mp.profile, baseline.profile, atol=ATOL, rtol=0.0,
+                err_msg=f"B={block_rows} diverges from B=1 on {fixture}",
+            )
+
+    def test_reanchor_schedule_is_exercised(self):
+        """On a drifting series the kernel re-anchors mid-profile and the
+        anchored rows land on exact QT values (still oracle-exact)."""
+        rng = np.random.default_rng(3)
+        # Large DC offset: per-row drift of the QT update is O(eps * t^2),
+        # which crosses QT_DRIFT_TOL of the l*sigma^2 scale mid-series.
+        series = rng.standard_normal(1500).cumsum() + 5e3
+        length = 64
+        _, sigma = SeriesContext(series).moving_mean_std(length)
+        anchors = stomp_reanchor_rows(series, length, sigma)
+        assert len(anchors) > 1, "fixture must actually trigger reanchoring"
+        reference = brute_force_matrix_profile(series, length)
+        mp = blocked_stomp(series, length)
+        # The DC offset limits what any O(n^2) scheme can resolve; the
+        # reanchor schedule keeps the drift at the tolerance scale (~1e-7
+        # in distance units here) instead of letting it accumulate.
+        np.testing.assert_allclose(
+            mp.profile, reference.profile, atol=1e-6, rtol=0.0
+        )
+        # Rowwise STOMP shares the same drift schedule; the accumulation
+        # orders differ (sheared cumsum vs sequential), so agreement is at
+        # the drift-tolerance scale, not bitwise.
+        rowwise = stomp(series, length)
+        np.testing.assert_allclose(
+            mp.profile, rowwise.profile, atol=1e-6, rtol=0.0
+        )
+        np.testing.assert_array_equal(mp.index, rowwise.index)
+
+
+class TestFloat32Path:
+    @pytest.mark.parametrize("fixture", sorted(FIXTURES))
+    def test_f32_with_verify_matches_f64(self, fixture, oracles):
+        """float32 scoring + float64 candidate verify: the *returned*
+        profile is float64-accurate even though scores were f32."""
+        series, length, reference = oracles[fixture]
+        f64 = blocked_stomp(series, length)
+        f32 = blocked_stomp(series, length, precision="float32")
+        np.testing.assert_allclose(
+            f32.profile, f64.profile, atol=ATOL, rtol=0.0,
+            err_msg=f"f32+verify diverges from f64 on {fixture}",
+        )
+        _assert_matches_oracle(series, length, f32, reference)
+
+    def test_f32_verify_counter_records_work(self):
+        series, length = _random_walk()
+        with obs.tracing(True):
+            obs.reset()
+            blocked_stomp(series, length, precision="float32")
+            counters = obs.snapshot()["counters"]
+        obs.reset()
+        obs.disable()
+        assert counters.get("kernel.f32.verified_cells", 0) > 0
+
+
+class TestContextIntegration:
+    def test_shared_context_is_bitwise_neutral(self):
+        series, length = _planted_motif()
+        ctx = SeriesContext(series)
+        with_ctx = blocked_stomp(series, length, context=ctx)
+        without = blocked_stomp(series, length)
+        np.testing.assert_array_equal(with_ctx.profile, without.profile)
+        np.testing.assert_array_equal(with_ctx.index, without.index)
+        assert length in ctx.cached_stat_lengths
+
+    def test_obs_counters(self):
+        series, length = _random_walk()
+        with obs.tracing(True):
+            obs.reset()
+            blocked_stomp(series, length, block_rows=32)
+            snap = obs.snapshot()
+        obs.reset()
+        obs.disable()
+        counters = snap["counters"]
+        n_subs = series.size - length + 1
+        assert counters["engine.rows"] == n_subs
+        assert counters["kernel.blocks"] >= n_subs // 32
+        assert snap["gauges"]["kernel.block_rows"] == 32
+
+
+class TestValidation:
+    def test_block_rows_must_be_positive(self):
+        series, length = _short_series()
+        with pytest.raises(InvalidParameterError, match="block_rows"):
+            blocked_stomp(series, length, block_rows=0)
+
+    def test_unknown_precision_rejected(self):
+        series, length = _short_series()
+        with pytest.raises(InvalidParameterError, match="precision"):
+            blocked_stomp(series, length, precision="float16")

@@ -198,3 +198,63 @@ def test_registry_lists_all_engines():
 def test_registry_rejects_unknown_engine():
     with pytest.raises(InvalidParameterError, match="parallel-stomp"):
         get_engine("no-such-engine")
+
+
+class TestNJobsIgnored:
+    """Serial engines warn once per engine when n_jobs is passed, and the
+    ``engine.n_jobs_ignored`` counter fires on every occurrence."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        from repro.matrixprofile.registry import _N_JOBS_WARNED
+
+        saved = set(_N_JOBS_WARNED)
+        _N_JOBS_WARNED.clear()
+        yield
+        _N_JOBS_WARNED.clear()
+        _N_JOBS_WARNED.update(saved)
+
+    def test_warns_once_per_engine_counts_every_time(self, oracles):
+        import warnings as warnings_mod
+
+        series, length, _ = oracles["short"]
+        with obs.tracing(True):
+            obs.reset()
+            with warnings_mod.catch_warnings(record=True) as caught:
+                warnings_mod.simplefilter("always")
+                compute_with("stomp", series, length, n_jobs=4)
+                compute_with("stomp", series, length, n_jobs=2)
+                compute_with("brute", series, length, n_jobs=4)
+            counters = obs.snapshot()["counters"]
+        obs.reset()
+        obs.disable()
+        messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
+        assert len(messages) == 2, messages
+        assert any("'stomp'" in m and "n_jobs=4" in m for m in messages)
+        assert any("'brute'" in m for m in messages)
+        assert counters["engine.n_jobs_ignored"] == 3
+
+    @pytest.mark.parametrize("n_jobs", [None, 1])
+    def test_serial_values_do_not_warn(self, n_jobs, oracles):
+        import warnings as warnings_mod
+
+        series, length, _ = oracles["short"]
+        with obs.tracing(True):
+            obs.reset()
+            with warnings_mod.catch_warnings(record=True) as caught:
+                warnings_mod.simplefilter("always")
+                compute_with("stomp", series, length, n_jobs=n_jobs)
+            counters = obs.snapshot()["counters"]
+        obs.reset()
+        obs.disable()
+        assert [w for w in caught if w.category is RuntimeWarning] == []
+        assert counters.get("engine.n_jobs_ignored", 0) == 0
+
+    def test_parallel_engine_accepts_n_jobs_silently(self, oracles):
+        import warnings as warnings_mod
+
+        series, length, _ = oracles["short"]
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            compute_with("parallel-stomp", series, length, n_jobs=2)
+        assert [w for w in caught if w.category is RuntimeWarning] == []

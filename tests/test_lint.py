@@ -19,7 +19,7 @@ from repro.lint.cli import format_rule_table, main
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007")
+RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008")
 
 # rule id -> fixture path relative to FIXTURES, expected violation count
 BAD_FIXTURES = {
@@ -30,6 +30,7 @@ BAD_FIXTURES = {
     "R005": ("matrixprofile/r005_bad.py", 2),
     "R006": ("matrixprofile/r006_bad.py", 2),
     "R007": ("obs/r007_bad.py", 2),
+    "R008": ("r008_bad.py", 2),
 }
 GOOD_FIXTURES = {
     "R001": "matrixprofile/r001_good.py",
@@ -39,6 +40,7 @@ GOOD_FIXTURES = {
     "R005": "matrixprofile/r005_good.py",
     "R006": "matrixprofile/r006_good.py",
     "R007": "obs/r007_good.py",
+    "R008": "r008_good.py",
 }
 
 
