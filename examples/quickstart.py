@@ -1,16 +1,17 @@
 """Quickstart: discover variable-length motifs in a synthetic series.
 
-Plants two copies of a wave pattern into noise, runs VALMOD over a length
-range bracketing the pattern, and shows that (a) the per-length motif
-pairs locate the planted copies and (b) the length-normalized ranking
-surfaces the planted length near the top.
+Plants two copies of a wave pattern into noise, extracts features with
+the one-call façade (``repro.extract_features``) over a length range
+bracketing the pattern, and shows that (a) the per-length motif pairs
+locate the planted copies and (b) the length-normalized ranking surfaces
+the planted length near the top.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Valmod, top_motifs_across_lengths
+from repro import extract_features
 from repro.datasets import plant_motifs
 
 PATTERN_LENGTH = 96
@@ -32,13 +33,19 @@ def main() -> None:
     print(f"planted two copies of a {PATTERN_LENGTH}-point pattern "
           f"at {planted.positions}")
 
-    run = Valmod(
+    # One call: VALMOD over the length range, motifs ranked across
+    # lengths.  Pass store="some/dir" (or set REPRO_FEATURES_STORE) to
+    # make repeat runs skip the kernels entirely.
+    features = extract_features(
         planted.series,
         l_min=PATTERN_LENGTH - 16,
         l_max=PATTERN_LENGTH + 16,
         p=50,
-    ).run()
-    print(f"VALMOD: {run.stats.summary()}")
+        top_k=3,
+        include=(),
+    )
+    print(f"extracted {len(features.motif_pairs)} per-length motif pairs "
+          f"(engine={features.engine})")
 
     planted_gap = planted.positions[1] - planted.positions[0]
 
@@ -53,14 +60,14 @@ def main() -> None:
         return overlap and aligned
 
     print("\ntop motifs across lengths (normalized-distance ranked):")
-    for pair in top_motifs_across_lengths(run.motif_pairs, k=3):
+    for pair in features.top_motifs:
         print(
             f"  length={pair.length:3d}  pair=({pair.a}, {pair.b})  "
             f"norm_dist={pair.normalized_distance:.4f}  "
             f"is planted motif: {is_planted(pair)}"
         )
 
-    best = run.best_motif_pair()
+    best = features.best_motif
     assert is_planted(best), (
         "the best variable-length motif should be the planted pattern"
     )

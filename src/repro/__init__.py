@@ -7,16 +7,24 @@ the variable-length motif sets built on top of them.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import valmod, find_motif_sets
+>>> from repro import extract_features
 >>> rng = np.random.default_rng(7)
 >>> series = rng.standard_normal(4000)
->>> result = valmod(series, l_min=64, l_max=96)
->>> best = result.best_motif_pair()          # top motif over all lengths
->>> per_length = result.motif_pairs          # exact motif pair per length
->>> sets = find_motif_sets(series, 64, 96, k=5, radius_factor=3.0)
+>>> features = extract_features(series, l_min=64, l_max=96)
+>>> best = features.best_motif              # top motif over all lengths
+>>> per_length = features.pairs_by_length() # exact motif pair per length
+>>> counts = features.motif_set_counts      # motif-set frequencies
+>>> anomalies = features.discords           # ranked discords
+
+Pass ``store="~/.cache/repro-features"`` (or set the
+``REPRO_FEATURES_STORE`` environment variable) and a repeat query
+returns a bitwise-identical result without running any kernel.  The
+lower-level building blocks (:func:`valmod`, :func:`find_motif_sets`,
+:func:`find_discords`, the engines) remain available for staged use.
 
 Package layout
 --------------
+``repro.features``      the one-call façade + content-addressed store
 ``repro.core``          VALMOD itself (Algorithms 1-6, Eq. 2 lower bound)
 ``repro.distance``      z-normalized distance kernels, MASS
 ``repro.matrixprofile`` STOMP / STAMP / brute-force engines
@@ -40,6 +48,14 @@ from repro.core.pan import PanMatrixProfile, compute_pan_matrix_profile
 from repro.core.chains import Chain, all_chains, unanchored_chain
 from repro.core.segmentation import fluss, regime_boundaries
 from repro.core.annotation import apply_annotation, variance_annotation
+from repro.features import (
+    AnnotationSummary,
+    FeatureStore,
+    SeriesFeatures,
+    extract_features,
+    extract_features_batch,
+    feature_cache_key,
+)
 from repro.matrixprofile.join import ab_join_motif, stomp_ab_join
 from repro.matrixprofile.mpdist import mpdist
 from repro.multiseries import consensus_motif, find_snippets, mpdist_matrix
@@ -62,9 +78,15 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnnotationSummary",
+    "FeatureStore",
+    "SeriesFeatures",
+    "extract_features",
+    "extract_features_batch",
+    "feature_cache_key",
     "Valmod",
     "ValmodResult",
     "valmod",

@@ -2,6 +2,8 @@
 
 Subcommands
 -----------
+``features`` one-call feature extraction (motifs + any requested
+             families) with optional on-disk caching (``--store``).
 ``motifs``   run VALMOD on a CSV file or a named synthetic dataset and
              print the ranked variable-length motifs.
 ``profile``  compute one fixed-length matrix profile with a chosen
@@ -9,6 +11,9 @@ Subcommands
 ``sets``     run the full Problem-2 pipeline (VALMOD + motif sets).
 ``datasets`` list the synthetic dataset families and their statistics.
 ``bench``    run one of the figure sweeps at a small scale.
+
+Per-series analysis commands route through the :mod:`repro.features`
+façade — the CLI composes no workload modules itself (lint rule R009).
 
 Every subcommand accepts ``--trace`` (plus ``--trace-format`` /
 ``--trace-out``): the run executes with the :mod:`repro.obs` tracer
@@ -26,11 +31,16 @@ import numpy as np
 
 from repro import obs
 from repro.analysis.stats import dataset_statistics
-from repro.core.motif_sets import find_motif_sets, motif_set_summary
-from repro.core.ranking import top_motifs_across_lengths
-from repro.core.valmod import DEFAULT_P, Valmod
 from repro.datasets.registry import DATASET_NAMES, dataset_spec, load_dataset
 from repro.exceptions import ReproError
+from repro.features import (
+    DEFAULT_INCLUDE,
+    DEFAULT_P,
+    INCLUDE_OPTIONS,
+    extract_features,
+    motif_set_summary,
+    save_features_json,
+)
 from repro.harness.config import default_grid
 from repro.harness.experiments import (
     sweep_motif_length,
@@ -107,6 +117,61 @@ def build_parser() -> argparse.ArgumentParser:
         description="VALMOD: variable-length motif discovery (SIGMOD 2018 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    features = sub.add_parser(
+        "features",
+        help="one-call feature extraction with optional on-disk caching",
+    )
+    _add_series_arguments(features)
+    _add_jobs_argument(features)
+    features.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=list(engine_names()),
+        help=f"matrix-profile engine (default {DEFAULT_ENGINE})",
+    )
+    features.add_argument("--top", type=int, default=5, help="motifs to print")
+    features.add_argument(
+        "--include",
+        nargs="+",
+        default=list(DEFAULT_INCLUDE),
+        help="optional feature families to compute (space- or "
+        f"comma-separated from: {', '.join(INCLUDE_OPTIONS)}; "
+        "'none' for motifs only)",
+    )
+    features.add_argument(
+        "--set-k", type=int, default=10, dest="set_k",
+        help="top-K pairs to extend into motif sets",
+    )
+    features.add_argument(
+        "--radius-factor", type=float, default=3.0, dest="radius_factor"
+    )
+    features.add_argument(
+        "--k-discords", type=int, default=3, dest="k_discords"
+    )
+    features.add_argument(
+        "--discord-lengths",
+        nargs="+",
+        type=int,
+        default=None,
+        dest="discord_lengths",
+        help="restrict the discord scan to these lengths",
+    )
+    features.add_argument(
+        "--regimes", type=int, default=2, help="regimes for segmentation"
+    )
+    features.add_argument(
+        "--store",
+        default=None,
+        help="feature-store directory (default: $REPRO_FEATURES_STORE)",
+    )
+    features.add_argument(
+        "--no-store",
+        action="store_true",
+        dest="no_store",
+        help="never read or write the feature store",
+    )
+    features.add_argument("--export", help="write the features JSON here")
 
     motifs = sub.add_parser("motifs", help="discover ranked variable-length motifs")
     _add_series_arguments(motifs)
@@ -198,23 +263,99 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_motifs(args: argparse.Namespace) -> int:
-    series = _load_series(args)
-    run = Valmod(
-        series, args.l_min, args.l_max, p=args.p, n_jobs=args.n_jobs,
-        stats_cache=getattr(args, "stats_cache", True),
-    ).run()
-    print(f"# processed {len(run.motif_pairs)} lengths; {run.stats.summary()}")
+def _motif_table(pairs) -> str:
     rows = [
         (pair.length, pair.a, pair.b, f"{pair.distance:.4f}",
          f"{pair.normalized_distance:.4f}")
-        for pair in top_motifs_across_lengths(run.motif_pairs, args.top)
+        for pair in pairs
     ]
-    print(format_table(["length", "a", "b", "distance", "normalized"], rows))
-    if getattr(args, "export", None):
-        from repro.io import save_result_json
+    return format_table(["length", "a", "b", "distance", "normalized"], rows)
 
-        save_result_json(args.export, run)
+
+def _parse_include(values) -> tuple:
+    # Accept both "--include motif_sets discords" and the comma form
+    # "--include motif_sets,discords"; "none" means motifs only.  The
+    # façade validates the names.
+    names = [
+        name
+        for value in values
+        for name in str(value).split(",")
+        if name and name != "none"
+    ]
+    return tuple(names)
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    series = _load_series(args)
+    store = False if args.no_store else (args.store if args.store else None)
+    result = extract_features(
+        series,
+        args.l_min,
+        args.l_max,
+        p=args.p,
+        top_k=args.top,
+        include=_parse_include(args.include),
+        motif_set_k=args.set_k,
+        radius_factor=args.radius_factor,
+        k_discords=args.k_discords,
+        discord_lengths=args.discord_lengths,
+        n_regimes=args.regimes,
+        engine=args.engine,
+        n_jobs=args.n_jobs,
+        store=store,
+    )
+    print(
+        f"# features: {result.n_points} points, lengths "
+        f"{result.l_min}..{result.l_max}, engine={result.engine}, "
+        f"include={','.join(result.include) or '-'}"
+    )
+    print(_motif_table(result.top_motifs))
+    if result.motif_sets:
+        print(f"# {len(result.motif_sets)} motif sets")
+        for motif_set in result.motif_sets:
+            print(motif_set_summary(motif_set))
+    if result.discords:
+        rows = [
+            (d.length, d.start, f"{d.distance:.4f}",
+             f"{d.normalized_distance:.4f}")
+            for d in result.discords
+        ]
+        print(format_table(["length", "start", "distance", "normalized"], rows))
+    if result.chain is not None:
+        print(
+            f"# chain: {len(result.chain)} members spanning "
+            f"{result.chain.span} points"
+        )
+    if result.regime_boundaries is not None:
+        print(
+            "# regime boundaries: "
+            + (
+                ", ".join(str(b) for b in result.regime_boundaries)
+                or "(none found)"
+            )
+        )
+    if result.annotation is not None:
+        print(
+            f"# annotation: mean={result.annotation.mean:.4f} "
+            f"flat={result.annotation.flat_fraction:.1%}"
+        )
+    if getattr(args, "export", None):
+        save_features_json(args.export, result)
+        print(f"# features written to {args.export}")
+    return 0
+
+
+def _cmd_motifs(args: argparse.Namespace) -> int:
+    series = _load_series(args)
+    result = extract_features(
+        series, args.l_min, args.l_max, p=args.p, top_k=args.top,
+        include=(), n_jobs=args.n_jobs,
+        stats_cache=getattr(args, "stats_cache", True), store=False,
+    )
+    print(f"# processed {len(result.motif_pairs)} lengths")
+    print(_motif_table(result.top_motifs))
+    if getattr(args, "export", None):
+        save_features_json(args.export, result)
         print(f"# full result written to {args.export}")
     return 0
 
@@ -243,20 +384,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_discords(args: argparse.Namespace) -> int:
-    from repro.core.discords import find_discords
-
     series = _load_series(args)
-    discords = find_discords(
-        series,
-        args.l_min,
-        args.l_max,
-        k=args.top,
-        engine=args.engine,
-        n_jobs=args.n_jobs,
+    result = extract_features(
+        series, args.l_min, args.l_max, include=("discords",),
+        k_discords=args.top, engine=args.engine, n_jobs=args.n_jobs,
+        store=False,
     )
     rows = [
         (d.length, d.start, f"{d.distance:.4f}", f"{d.normalized_distance:.4f}")
-        for d in discords
+        for d in result.discords
     ]
     print(format_table(["length", "start", "distance", "normalized"], rows))
     return 0
@@ -264,24 +400,32 @@ def _cmd_discords(args: argparse.Namespace) -> int:
 
 def _cmd_sets(args: argparse.Namespace) -> int:
     series = _load_series(args)
-    sets = find_motif_sets(
-        series, args.l_min, args.l_max, k=args.k,
-        radius_factor=args.radius_factor, p=args.p, n_jobs=args.n_jobs,
+    result = extract_features(
+        series, args.l_min, args.l_max, p=args.p, include=("motif_sets",),
+        motif_set_k=args.k, radius_factor=args.radius_factor,
+        n_jobs=args.n_jobs, store=False,
     )
-    print(f"# {len(sets)} motif sets")
-    for motif_set in sets:
+    print(f"# {len(result.motif_sets)} motif sets")
+    for motif_set in result.motif_sets:
         print(motif_set_summary(motif_set))
     return 0
 
 
 def _cmd_segment(args: argparse.Namespace) -> int:
-    from repro.core.segmentation import fluss, regime_boundaries
-
     series = _load_series(args)
-    boundaries = regime_boundaries(series, args.l_min, n_regimes=args.regimes)
-    cac = fluss(series, args.l_min)
-    print(f"# corrected arc curve minimum: {cac.min():.4f}")
-    rows = [(i + 1, b, f"{cac[b]:.4f}") for i, b in enumerate(boundaries)]
+    # Segmentation works at a single window length (l_min); the trivial
+    # l_min..l_min motif sweep rides along on the shared context.
+    result = extract_features(
+        series, args.l_min, args.l_min, include=("segmentation",),
+        n_regimes=args.regimes, store=False,
+    )
+    print(f"# corrected arc curve minimum: {result.cac_min:.4f}")
+    rows = [
+        (i + 1, position, f"{value:.4f}")
+        for i, (position, value) in enumerate(
+            zip(result.regime_boundaries or (), result.regime_cac or ())
+        )
+    ]
     print(format_table(["boundary", "position", "CAC"], rows))
     return 0
 
@@ -350,6 +494,7 @@ def _emit_trace(args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
+        "features": _cmd_features,
         "motifs": _cmd_motifs,
         "profile": _cmd_profile,
         "discords": _cmd_discords,

@@ -20,12 +20,13 @@ unknown, which is fine for minima but not maxima).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
 from repro.lint.contracts import instance_of, positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.registry import compute_with
@@ -62,6 +63,8 @@ def find_discords(
     k: int = 3,
     engine: str = "stomp",
     n_jobs: Optional[int] = 1,
+    lengths: Optional[Sequence[int]] = None,
+    context: Optional[SeriesContext] = None,
 ) -> List[Discord]:
     """Top-k variable-length discords, best (most anomalous) first.
 
@@ -70,17 +73,33 @@ def find_discords(
     scale, and returned discords are mutually non-overlapping (the
     exclusion zone of the *longer* window applies).  ``engine`` picks a
     registered matrix-profile engine by name; ``n_jobs`` is forwarded to
-    engines that parallelize.
+    engines that parallelize.  ``lengths`` restricts the scan to an
+    explicit subset of ``[l_min, l_max]`` (the full range is exact but
+    costs one matrix profile per length); ``context`` reuses an existing
+    per-series stats/FFT cache — results are bitwise identical with or
+    without one.
     """
     t = as_series(series, min_length=8)
     if l_min > l_max:
         raise InvalidParameterError(f"l_min ({l_min}) must not exceed l_max ({l_max})")
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
+    if lengths is None:
+        scan: List[int] = list(range(l_min, l_max + 1))
+    else:
+        scan = sorted({int(length) for length in lengths})
+        if not scan:
+            raise InvalidParameterError("lengths must be non-empty when given")
+        for length in scan:
+            if not l_min <= length <= l_max:
+                raise InvalidParameterError(
+                    f"discord length {length} outside [{l_min}, {l_max}]"
+                )
+    ctx = SeriesContext.ensure(t, context, min_length=8)
 
     candidates: List[Discord] = []
-    for length in range(l_min, l_max + 1):
-        mp = compute_with(engine, t, length, n_jobs=n_jobs)
+    for length in scan:
+        mp = compute_with(engine, t, length, n_jobs=n_jobs, context=ctx)
         finite = np.isfinite(mp.profile)
         order = np.argsort(mp.profile)[::-1]
         # Keep a handful of per-length maxima; cross-length competition

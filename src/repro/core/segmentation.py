@@ -24,7 +24,13 @@ from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.stomp import stomp
 
-__all__ = ["arc_curve", "corrected_arc_curve", "fluss", "regime_boundaries"]
+__all__ = [
+    "arc_curve",
+    "boundaries_from_cac",
+    "corrected_arc_curve",
+    "fluss",
+    "regime_boundaries",
+]
 
 
 def arc_curve(index: IntArray) -> FloatArray:
@@ -69,26 +75,39 @@ def fluss(series: FloatArray, length: int) -> FloatArray:
     return corrected_arc_curve(mp.index, length)
 
 
+def boundaries_from_cac(
+    cac: FloatArray, length: int, n_regimes: int = 2
+) -> List[int]:
+    """The ``n_regimes - 1`` deepest minima of a precomputed CAC.
+
+    Boundaries are extracted greedily: take the global CAC minimum, mask
+    ``5 * length`` around it (the published separation heuristic), and
+    repeat.  Callers that already hold a CAC (e.g. the
+    :mod:`repro.features` façade) avoid recomputing the matrix profile
+    :func:`fluss` would rebuild.
+    """
+    if n_regimes < 2:
+        raise InvalidParameterError(f"n_regimes must be >= 2, got {n_regimes}")
+    remaining = np.asarray(cac, dtype=np.float64).copy()
+    boundaries: List[int] = []
+    separation = 5 * length
+    for _ in range(n_regimes - 1):
+        pos = int(np.argmin(remaining))
+        if remaining[pos] >= 1.0:
+            break  # nothing left to split
+        boundaries.append(pos)
+        lo = max(0, pos - separation)
+        hi = min(remaining.size, pos + separation)
+        remaining[lo:hi] = 1.0
+    return sorted(boundaries)
+
+
 def regime_boundaries(
     series: FloatArray, length: int, n_regimes: int = 2
 ) -> List[int]:
     """The ``n_regimes - 1`` deepest CAC minima, mutually separated.
 
-    Boundaries are extracted greedily: take the global CAC minimum, mask
-    ``5 * length`` around it (the published separation heuristic), and
-    repeat.
+    Convenience wrapper: computes :func:`fluss` and delegates to
+    :func:`boundaries_from_cac`.
     """
-    if n_regimes < 2:
-        raise InvalidParameterError(f"n_regimes must be >= 2, got {n_regimes}")
-    cac = fluss(series, length).copy()
-    boundaries: List[int] = []
-    separation = 5 * length
-    for _ in range(n_regimes - 1):
-        pos = int(np.argmin(cac))
-        if cac[pos] >= 1.0:
-            break  # nothing left to split
-        boundaries.append(pos)
-        lo = max(0, pos - separation)
-        hi = min(cac.size, pos + separation)
-        cac[lo:hi] = 1.0
-    return sorted(boundaries)
+    return boundaries_from_cac(fluss(series, length), length, n_regimes)

@@ -120,6 +120,12 @@ class Valmod:
         window statistics exactly once and all FFT sliding dot products
         reuse a single cached series spectrum.  ``False`` disables the
         cache (ablation); the output is bitwise identical either way.
+    context:
+        An existing :class:`~repro.kernels.SeriesContext` to reuse (the
+        :mod:`repro.features` façade threads one context through every
+        workload it runs on a series).  Ignored unless it matches the
+        series and ``stats_cache`` is on; results are bitwise identical
+        with or without a shared context.
     """
 
     def __init__(
@@ -135,6 +141,7 @@ class Valmod:
         n_jobs: Optional[int] = 1,
         trace: Optional[bool] = None,
         stats_cache: bool = True,
+        context: Optional[SeriesContext] = None,
     ) -> None:
         self.series = as_series(series, min_length=8)
         if l_min > l_max:
@@ -157,12 +164,17 @@ class Valmod:
         self.stats_cache = bool(stats_cache)
         self._store: Optional[EntryStore] = None
         # One context for the whole sweep: window statistics are computed
-        # once per length and the series FFT once per plan size.  When the
-        # cache is off, a fresh throwaway context per call keeps the code
-        # path identical without reusing anything.
-        self._context: Optional[SeriesContext] = (
-            SeriesContext(self.series) if self.stats_cache else None
-        )
+        # once per length and the series FFT once per plan size.  A caller
+        # (the repro.features façade) may hand in its own context so the
+        # same stats serve several workloads.  When the cache is off, a
+        # fresh throwaway context per call keeps the code path identical
+        # without reusing anything.
+        if not self.stats_cache:
+            self._context: Optional[SeriesContext] = None
+        elif context is not None and context.matches(self.series):
+            self._context = context
+        else:
+            self._context = SeriesContext(self.series)
         self._snapshot_context: Optional[SeriesContext] = None
 
     def run(self) -> ValmodResult:

@@ -1,0 +1,121 @@
+"""The façade's result vocabulary: one frozen object per analyzed series.
+
+:class:`SeriesFeatures` is what downstream consumers of the VALMOD
+reproduction actually read (the shape follows the feature-object idiom
+of the matrix-profile ecosystem): the exact per-length motif pairs, the
+length-normalized cross-length ranking, and — when requested — motif
+sets, discords, the unanchored chain, FLUSS regime boundaries, and an
+annotation summary.  Everything is a plain frozen dataclass of plain
+values, so two runs over identical inputs produce *bitwise identical*
+objects — the property the content-addressed store
+(:mod:`repro.features.store`) relies on.  Deliberately absent: timings,
+run statistics, or anything else that varies between identical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.chains import Chain
+from repro.core.discords import Discord
+from repro.types import MotifPair, MotifSet
+
+__all__ = ["AnnotationSummary", "SeriesFeatures"]
+
+
+@dataclass(frozen=True)
+class AnnotationSummary:
+    """Condensed view of the variance annotation vector at one length.
+
+    ``mean`` is the average interestingness over all subsequences;
+    ``flat_fraction`` is the share of windows whose annotation falls
+    below 0.1 — a quick "how much of this series is dead air" signal.
+    """
+
+    length: int
+    mean: float
+    flat_fraction: float
+
+
+@dataclass(frozen=True)
+class SeriesFeatures:
+    """Everything :func:`repro.features.extract_features` discovers.
+
+    Attributes
+    ----------
+    n_points:
+        Length of the analyzed series.
+    l_min, l_max, p:
+        The VALMOD parameters the features were computed under.
+    engine:
+        Registered matrix-profile engine used for full-profile passes.
+    include:
+        The optional feature families that were computed, in canonical
+        order (subset of ``motif_sets``/``discords``/``chains``/
+        ``segmentation``/``annotation``).
+    motif_pairs:
+        The exact motif pair of *every* length in ``[l_min, l_max]``,
+        ascending by length — VALMOD's headline output.
+    top_motifs:
+        Cross-length ranking: the best pairs by length-normalized
+        distance, deduplicated across length-shifted rediscoveries.
+    motif_sets:
+        Algorithm 5-6 motif sets (empty unless ``motif_sets`` included).
+    discords:
+        Top anomalies, best first (empty unless ``discords`` included).
+    chain:
+        The unanchored time-series chain at ``l_min``, or ``None`` when
+        not included or when no chain exists.
+    regime_boundaries:
+        FLUSS boundary positions (``None`` unless ``segmentation``
+        included), with ``regime_cac`` holding the CAC value at each
+        boundary and ``cac_min`` the curve's global minimum.
+    annotation:
+        Variance-annotation summary at ``l_min`` (``None`` unless
+        ``annotation`` included).
+    """
+
+    n_points: int
+    l_min: int
+    l_max: int
+    p: int
+    engine: str
+    include: Tuple[str, ...]
+    motif_pairs: Tuple[MotifPair, ...]
+    top_motifs: Tuple[MotifPair, ...]
+    motif_sets: Tuple[MotifSet, ...] = ()
+    discords: Tuple[Discord, ...] = ()
+    chain: Optional[Chain] = None
+    regime_boundaries: Optional[Tuple[int, ...]] = None
+    regime_cac: Optional[Tuple[float, ...]] = None
+    cac_min: Optional[float] = None
+    annotation: Optional[AnnotationSummary] = None
+
+    @property
+    def best_motif(self) -> MotifPair:
+        """The single best variable-length motif (normalized distance)."""
+        if self.top_motifs:
+            return self.top_motifs[0]
+        return min(self.motif_pairs)
+
+    @property
+    def primary_motif_distance(self) -> float:
+        """Normalized distance of the best motif (stumpy-style shortcut)."""
+        return self.best_motif.normalized_distance
+
+    @property
+    def motif_set_counts(self) -> Tuple[int, ...]:
+        """Cardinality (the paper's *frequency*) of each motif set."""
+        return tuple(motif_set.frequency for motif_set in self.motif_sets)
+
+    @property
+    def discord_distance(self) -> Optional[float]:
+        """Normalized distance of the top discord, ``None`` if absent."""
+        if not self.discords:
+            return None
+        return self.discords[0].normalized_distance
+
+    def pairs_by_length(self) -> Dict[int, MotifPair]:
+        """The per-length exact pairs as a ``length -> pair`` mapping."""
+        return {pair.length: pair for pair in self.motif_pairs}

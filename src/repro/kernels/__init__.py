@@ -21,7 +21,16 @@ lazily), so engines above it can import :class:`SeriesContext` freely.
 from repro.kernels.context import SeriesContext, ensure_context
 from repro.kernels.blocked import DEFAULT_BLOCK_ROWS, blocked_stomp
 
+#: Version of the numerical contract the kernels implement.  Bump this
+#: whenever a kernel change may alter results at the bit level (new
+#: recurrence order, different clipping, changed dtype policy): the
+#: content-addressed feature store (``repro.features.store``) folds it
+#: into every cache key, so stale entries computed under the old
+#: contract miss instead of shadowing fresh results.
+KERNEL_SCHEMA_VERSION = 1
+
 __all__ = [
+    "KERNEL_SCHEMA_VERSION",
     "SeriesContext",
     "ensure_context",
     "DEFAULT_BLOCK_ROWS",

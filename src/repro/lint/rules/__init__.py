@@ -1,4 +1,4 @@
-"""Rule registry: one module per kernel invariant, R001–R008."""
+"""Rule registry: one module per invariant, R001–R009."""
 
 from __future__ import annotations
 
@@ -13,6 +13,7 @@ from repro.lint.rules.r005_determinism import WorkerDeterminismRule
 from repro.lint.rules.r006_dtype import DtypeDisciplineRule
 from repro.lint.rules.r007_obs_layering import ObsLayeringRule
 from repro.lint.rules.r008_context_stats import ContextStatsRule
+from repro.lint.rules.r009_features_layering import FeaturesLayeringRule
 
 __all__ = ["all_rules"]
 
@@ -28,4 +29,5 @@ def all_rules() -> List[Rule]:
         DtypeDisciplineRule(),
         ObsLayeringRule(),
         ContextStatsRule(),
+        FeaturesLayeringRule(),
     ]

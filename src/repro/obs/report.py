@@ -52,6 +52,13 @@ def derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
     lookups = counters.get("listdp.lookups", 0)
     if lookups:
         out["listdp_hit_rate"] = counters.get("listdp.hits", 0) / lookups
+    feature_queries = counters.get("features.cache.hits", 0) + counters.get(
+        "features.cache.misses", 0
+    )
+    if feature_queries:
+        out["features_cache_hit_rate"] = (
+            counters.get("features.cache.hits", 0) / feature_queries
+        )
     return out
 
 

@@ -1,0 +1,10 @@
+"""R009 fixture: store import outside the façade + wholesale composition."""
+
+from repro.features.store import FeatureStore  # noqa: F401  (a) store is façade-private
+from repro.core.valmod import Valmod  # noqa: F401  first family: allowed
+from repro.core.discords import find_discords  # noqa: F401  (b) second family
+
+
+def analyze(series):
+    run = Valmod(series, 16, 32).run()
+    return run, find_discords(series, 16, 32), FeatureStore("/tmp/cache")

@@ -1,0 +1,8 @@
+"""R009 fixture: one entry point — composition stays behind the façade."""
+
+from repro.features import extract_features
+
+
+def analyze(series):
+    features = extract_features(series, 16, 32, include=("discords",))
+    return features.best_motif, features.discords

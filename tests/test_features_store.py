@@ -1,0 +1,318 @@
+"""The content-addressed feature store: zero recompute, never a crash.
+
+Three properties under test:
+
+1. **Warm-path proof** — a second identical ``extract_features`` call
+   hits the store (``features.cache.hits == 1``) and does zero kernel
+   work (``engine.cells == 0``), returning bitwise-identical features.
+2. **Key sensitivity** — any input that can change the result bits
+   (series values, dtype, params, engine, kernel schema, package
+   version) changes the key, so stale entries can never be served.
+3. **Corruption tolerance** — every way an on-disk entry can rot
+   (truncation, garbage, tampered payload, foreign schema, empty file)
+   degrades to a counted miss, never an exception.
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.features.store as store_module
+from repro import obs
+from repro.exceptions import InvalidParameterError
+from repro.features import (
+    STORE_ENV,
+    FeatureStore,
+    extract_features,
+    feature_cache_key,
+    features_to_dict,
+    resolve_store,
+)
+
+
+@pytest.fixture
+def series():
+    return np.random.default_rng(42).standard_normal(300)
+
+
+def traced_extract(series, store, **kwargs):
+    """One extraction under tracing; returns (features, counters)."""
+    kwargs.setdefault("p", 10)
+    kwargs.setdefault("include", ())
+    with obs.tracing(True):
+        obs.reset()
+        features = extract_features(series, 16, 18, store=store, **kwargs)
+        counters = dict(obs.get_tracer().counters())
+    return features, counters
+
+
+#: every counter that implies distance-kernel work was done.  The warm
+#: path must show zero across all of them, not just ``engine.cells``
+#: (VALMOD's own sweep counts ``compute_mp.rows``; the engine registry
+#: counts ``engine.cells``).
+KERNEL_COUNTERS = ("engine.cells", "compute_mp.rows", "listdp.entries_advanced")
+
+
+def kernel_work(counters):
+    return sum(counters.get(name, 0) for name in KERNEL_COUNTERS)
+
+
+class TestWarmPath:
+    def test_cold_then_warm_skips_the_kernel(self, series, tmp_path):
+        store = FeatureStore(tmp_path / "cache")
+        cold, cold_counters = traced_extract(
+            series, store, include=("discords",)
+        )
+        assert cold_counters.get("features.cache.misses", 0) == 1
+        assert cold_counters.get("features.cache.hits", 0) == 0
+        assert cold_counters.get("engine.cells", 0) > 0
+
+        warm, warm_counters = traced_extract(
+            series, store, include=("discords",)
+        )
+        assert warm_counters.get("features.cache.hits", 0) == 1
+        assert warm_counters.get("features.cache.misses", 0) == 0
+        assert warm_counters.get("engine.cells", 0) == 0
+        assert kernel_work(warm_counters) == 0
+        assert features_to_dict(warm) == features_to_dict(cold)
+
+    def test_warm_features_equal_uncached(self, series, tmp_path):
+        store = FeatureStore(tmp_path / "cache")
+        traced_extract(series, store)
+        warm, _ = traced_extract(series, store)
+        uncached, _ = traced_extract(series, False)
+        assert features_to_dict(warm) == features_to_dict(uncached)
+
+    def test_all_families_round_trip_through_store(self, series, tmp_path):
+        store = FeatureStore(tmp_path / "cache")
+        include = ("motif_sets", "discords", "chains", "segmentation",
+                   "annotation")
+        cold, _ = traced_extract(series, store, include=include)
+        warm, counters = traced_extract(series, store, include=include)
+        assert counters.get("features.cache.hits", 0) == 1
+        assert kernel_work(counters) == 0
+        assert features_to_dict(warm) == features_to_dict(cold)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_cached_bits_equal_uncached_bits(self, seed):
+        # hypothesis + function-scoped tmp_path don't mix; make our own.
+        series = np.random.default_rng(seed).standard_normal(180)
+        with tempfile.TemporaryDirectory() as root:
+            store = FeatureStore(root)
+            kwargs = dict(p=10, include=("motif_sets",))
+            cold = extract_features(series, 8, 11, store=store, **kwargs)
+            warm = extract_features(series, 8, 11, store=store, **kwargs)
+            bare = extract_features(series, 8, 11, store=False, **kwargs)
+            assert features_to_dict(warm) == features_to_dict(cold)
+            assert features_to_dict(warm) == features_to_dict(bare)
+
+
+class TestKeySensitivity:
+    PARAMS = {"l_min": 16, "l_max": 18, "p": 10, "engine": "stomp"}
+
+    def test_key_is_deterministic(self, series):
+        assert feature_cache_key(series, self.PARAMS) == feature_cache_key(
+            series.copy(), dict(self.PARAMS)
+        )
+
+    def test_series_values_change_the_key(self, series):
+        other = series.copy()
+        other[0] += 1e-9
+        assert feature_cache_key(series, self.PARAMS) != feature_cache_key(
+            other, self.PARAMS
+        )
+
+    def test_dtype_changes_the_key(self, series):
+        narrowed = series.astype(np.float32)
+        assert feature_cache_key(series, self.PARAMS) != feature_cache_key(
+            narrowed, self.PARAMS
+        )
+
+    @pytest.mark.parametrize(
+        "delta",
+        [{"p": 11}, {"l_max": 19}, {"engine": "scamp"}, {"top_k": 4}],
+    )
+    def test_any_param_changes_the_key(self, series, delta):
+        changed = {**self.PARAMS, **delta}
+        assert feature_cache_key(series, self.PARAMS) != feature_cache_key(
+            series, changed
+        )
+
+    def test_kernel_schema_version_changes_the_key(self, series, monkeypatch):
+        base = feature_cache_key(series, self.PARAMS)
+        monkeypatch.setattr(
+            store_module,
+            "KERNEL_SCHEMA_VERSION",
+            store_module.KERNEL_SCHEMA_VERSION + 1,
+        )
+        assert feature_cache_key(series, self.PARAMS) != base
+
+    def test_package_version_changes_the_key(self, series, monkeypatch):
+        base = feature_cache_key(series, self.PARAMS)
+        monkeypatch.setattr(
+            store_module, "_package_version", lambda: "999.0.0"
+        )
+        assert feature_cache_key(series, self.PARAMS) != base
+
+    def test_schema_bump_misses_behaviorally(self, series, tmp_path,
+                                             monkeypatch):
+        store = FeatureStore(tmp_path / "cache")
+        traced_extract(series, store)
+        monkeypatch.setattr(
+            store_module,
+            "KERNEL_SCHEMA_VERSION",
+            store_module.KERNEL_SCHEMA_VERSION + 1,
+        )
+        _, counters = traced_extract(series, store)
+        assert counters.get("features.cache.misses", 0) == 1
+        assert counters.get("features.cache.hits", 0) == 0
+
+    def test_param_change_misses_behaviorally(self, series, tmp_path):
+        store = FeatureStore(tmp_path / "cache")
+        traced_extract(series, store)
+        _, counters = traced_extract(series, store, top_k=2)
+        assert counters.get("features.cache.misses", 0) == 1
+        assert counters.get("features.cache.hits", 0) == 0
+
+
+def corrupt_truncate(path):
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+
+def corrupt_garbage(path):
+    path.write_bytes(b"\x00\xff definitely not json \xfe")
+
+
+def corrupt_empty(path):
+    path.write_text("")
+
+
+def corrupt_payload(path):
+    # Valid JSON, valid schema — but the payload no longer matches the
+    # recorded checksum (an edit after the fact).
+    envelope = json.loads(path.read_text())
+    envelope["payload"]["l_min"] = 999
+    path.write_text(json.dumps(envelope))
+
+
+def corrupt_schema(path):
+    envelope = json.loads(path.read_text())
+    envelope["schema"] = -1
+    path.write_text(json.dumps(envelope))
+
+
+def corrupt_key(path):
+    envelope = json.loads(path.read_text())
+    envelope["key"] = "0" * 64
+    path.write_text(json.dumps(envelope))
+
+
+def corrupt_nondict_payload(path):
+    envelope = json.loads(path.read_text())
+    envelope["payload"] = [1, 2, 3]
+    path.write_text(json.dumps(envelope))
+
+
+class TestCorruptionTolerance:
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            corrupt_truncate,
+            corrupt_garbage,
+            corrupt_empty,
+            corrupt_payload,
+            corrupt_schema,
+            corrupt_key,
+            corrupt_nondict_payload,
+        ],
+        ids=lambda f: f.__name__,
+    )
+    def test_rotten_entry_is_a_counted_miss(self, series, tmp_path, corrupt):
+        store = FeatureStore(tmp_path / "cache")
+        cold, _ = traced_extract(series, store)
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == 1
+        corrupt(entries[0])
+
+        recovered, counters = traced_extract(series, store)
+        assert counters.get("features.cache.hits", 0) == 0
+        assert counters.get("features.cache.misses", 0) == 1
+        assert counters.get("features.cache.corrupt", 0) >= 1
+        assert features_to_dict(recovered) == features_to_dict(cold)
+
+    def test_rewrite_after_corruption_heals_the_entry(self, series, tmp_path):
+        store = FeatureStore(tmp_path / "cache")
+        traced_extract(series, store)
+        entry = next((tmp_path / "cache").glob("*.json"))
+        corrupt_garbage(entry)
+        traced_extract(series, store)  # miss: recomputes and rewrites
+        _, counters = traced_extract(series, store)
+        assert counters.get("features.cache.hits", 0) == 1
+
+    def test_get_on_missing_key_is_a_silent_none(self, tmp_path):
+        store = FeatureStore(tmp_path / "cache")
+        with obs.tracing(True):
+            obs.reset()
+            assert store.get("f" * 64) is None
+            counters = dict(obs.get_tracer().counters())
+        assert counters.get("features.cache.corrupt", 0) == 0
+
+
+class TestEviction:
+    def test_oldest_entries_are_evicted(self, tmp_path):
+        store = FeatureStore(tmp_path / "cache", max_entries=2)
+        with obs.tracing(True):
+            obs.reset()
+            for i, key in enumerate(["a" * 64, "b" * 64, "c" * 64]):
+                store.put(key, {"i": i})
+                # mtime resolution can be coarse; force strict ordering.
+                os.utime(store.path_for(key), (1000 + i, 1000 + i))
+            counters = dict(obs.get_tracer().counters())
+        assert len(store) == 2
+        assert store.get("a" * 64) is None
+        assert store.get("b" * 64) == {"i": 1}
+        assert store.get("c" * 64) == {"i": 2}
+        assert counters.get("features.cache.evictions", 0) == 1
+
+    def test_max_entries_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FEATURES_STORE_MAX", "7")
+        assert FeatureStore(tmp_path).max_entries == 7
+
+    def test_nonpositive_max_entries_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            FeatureStore(tmp_path, max_entries=0)
+
+
+class TestResolution:
+    def test_false_disables_even_with_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "envstore"))
+        assert resolve_store(False) is None
+
+    def test_none_without_env_disables(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        assert resolve_store(None) is None
+
+    def test_none_with_env_opens_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "envstore"))
+        resolved = resolve_store(None)
+        assert isinstance(resolved, FeatureStore)
+        assert resolved.root == tmp_path / "envstore"
+
+    def test_path_and_instance_pass_through(self, tmp_path):
+        assert resolve_store(str(tmp_path)).root == tmp_path
+        store = FeatureStore(tmp_path)
+        assert resolve_store(store) is store
+
+    def test_env_store_used_by_default(self, series, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "envstore"))
+        _, cold = traced_extract(series, None)
+        assert cold.get("features.cache.misses", 0) == 1
+        assert list((tmp_path / "envstore").glob("*.json"))
+        _, warm = traced_extract(series, None)
+        assert warm.get("features.cache.hits", 0) == 1

@@ -19,7 +19,17 @@ from repro.lint.cli import format_rule_table, main
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008")
+RULE_IDS = (
+    "R001",
+    "R002",
+    "R003",
+    "R004",
+    "R005",
+    "R006",
+    "R007",
+    "R008",
+    "R009",
+)
 
 # rule id -> fixture path relative to FIXTURES, expected violation count
 BAD_FIXTURES = {
@@ -31,6 +41,7 @@ BAD_FIXTURES = {
     "R006": ("matrixprofile/r006_bad.py", 2),
     "R007": ("obs/r007_bad.py", 2),
     "R008": ("r008_bad.py", 2),
+    "R009": ("r009_bad.py", 2),
 }
 GOOD_FIXTURES = {
     "R001": "matrixprofile/r001_good.py",
@@ -41,6 +52,7 @@ GOOD_FIXTURES = {
     "R006": "matrixprofile/r006_good.py",
     "R007": "obs/r007_good.py",
     "R008": "r008_good.py",
+    "R009": "r009_good.py",
 }
 
 
@@ -157,6 +169,69 @@ class TestObsLayering:
         # kernels importing obs is the intended direction
         source = "from repro import obs\nfrom repro.matrixprofile import stomp\n"
         assert lint_source(source, path="src/repro/core/whatever.py") == []
+
+
+class TestFeaturesLayering:
+    def test_store_import_outside_facade_is_flagged(self):
+        source = "from repro.features.store import FeatureStore\n"
+        assert rule_ids(lint_source(source, path="src/repro/cli.py")) == [
+            "R009"
+        ]
+
+    def test_store_import_inside_facade_is_allowed(self):
+        source = "from repro.features.store import FeatureStore\n"
+        assert (
+            lint_source(source, path="src/repro/features/facade.py") == []
+        )
+
+    def test_two_workload_families_flagged_once_per_extra_family(self):
+        source = (
+            "from repro.core.valmod import Valmod\n"
+            "from repro.core.discords import find_discords\n"
+            "from repro.core.segmentation import fluss\n"
+        )
+        assert rule_ids(lint_source(source, path="src/repro/tool.py")) == [
+            "R009",
+            "R009",
+        ]
+
+    def test_one_family_spread_over_modules_is_allowed(self):
+        # valmod + motif_sets + ranking are one family (motifs): staged
+        # timing of VALMP build vs set extraction is legitimate.
+        source = (
+            "from repro.core.valmod import Valmod\n"
+            "from repro.core.motif_sets import compute_motif_sets\n"
+            "from repro.core.ranking import top_motifs_across_lengths\n"
+        )
+        assert lint_source(source, path="src/repro/harness/tool.py") == []
+
+    def test_init_modules_may_reexport_everything(self):
+        source = (
+            "from repro.core.valmod import Valmod\n"
+            "from repro.core.discords import find_discords\n"
+            "from repro.multiseries import find_snippets\n"
+        )
+        assert lint_source(source, path="src/repro/__init__.py") == []
+
+    def test_facade_composes_freely(self):
+        source = (
+            "from repro.core.valmod import Valmod\n"
+            "from repro.core.discords import find_discords\n"
+            "from repro.core.chains import unanchored_chain\n"
+        )
+        assert (
+            lint_source(source, path="src/repro/features/facade.py") == []
+        )
+
+    def test_aliased_from_import_is_seen(self):
+        # ``from repro.core import X`` prefix-matches the core package.
+        source = (
+            "from repro.core import Valmod\n"
+            "from repro.multiseries import find_snippets\n"
+        )
+        assert rule_ids(lint_source(source, path="src/repro/tool.py")) == [
+            "R009"
+        ]
 
 
 class TestScoping:

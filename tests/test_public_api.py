@@ -16,6 +16,8 @@ SUBPACKAGES = [
     "repro.distance",
     "repro.matrixprofile",
     "repro.core",
+    "repro.features",
+    "repro.kernels",
     "repro.baselines",
     "repro.datasets",
     "repro.analysis",
@@ -71,3 +73,51 @@ def test_docstrings_on_public_callables():
 def test_exceptions_exported_consistently():
     assert repro.InvalidParameterError is repro.exceptions.InvalidParameterError
     assert issubclass(repro.InvalidSeriesError, repro.ReproError)
+
+
+def test_features_facade_exported_at_top_level():
+    # The façade symbols the ISSUE-7 refactor added to the surface.
+    for name in (
+        "SeriesFeatures",
+        "AnnotationSummary",
+        "FeatureStore",
+        "extract_features",
+        "extract_features_batch",
+        "feature_cache_key",
+    ):
+        assert name in repro.__all__, name
+        assert getattr(repro, name) is getattr(repro.features, name)
+
+
+def test_features_subpackage_surface_pinned():
+    # The exact public surface of repro.features: additions require a
+    # deliberate edit here, removals break downstream imports loudly.
+    assert sorted(repro.features.__all__) == [
+        "AnnotationSummary",
+        "DEFAULT_INCLUDE",
+        "DEFAULT_MAX_ENTRIES",
+        "DEFAULT_P",
+        "FeatureStore",
+        "INCLUDE_OPTIONS",
+        "STORE_ENV",
+        "STORE_SCHEMA_VERSION",
+        "SeriesFeatures",
+        "extract_features",
+        "extract_features_batch",
+        "feature_cache_key",
+        "features_from_dict",
+        "features_to_dict",
+        "motif_set_summary",
+        "resolve_store",
+        "save_features_json",
+    ]
+
+
+def test_readme_features_quickstart_verbatim():
+    rng = np.random.default_rng(7)
+    series = rng.standard_normal(1500)
+    features = repro.extract_features(series, l_min=24, l_max=28, p=10)
+    assert 24 <= features.best_motif.length <= 28
+    assert set(features.pairs_by_length()) == set(range(24, 29))
+    assert len(features.motif_set_counts) == len(features.motif_sets)
+    assert features.discords and features.discord_distance is not None
