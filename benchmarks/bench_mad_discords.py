@@ -1,0 +1,130 @@
+"""MAD-style discord pruning: pruned vs full-profile driver.
+
+Not a paper figure of VALMOD itself — the discord extension ("Matrix
+Profile Goes MAD", ROADMAP item 3).  The workload injects ``K`` bump
+anomalies of similar width into a noisy sine and scans a length range
+extending well past that width, the regime the pruning targets: once
+the top-K discords are found near the anomalies' natural length, the
+Eq. 2 bounds certify most remaining lengths as unable to compete.
+
+Persists ``benchmarks/results/BENCH_mad_discords.json`` with both
+timings, the obs pruning counters, and the pruned fraction; the
+committed full-mode baseline must show more than half the per-length
+full profiles pruned (``MIN_PRUNED_FRACTION``).  CI runs the smoke mode
+(``REPRO_BENCH_FAST=1``), which keeps the differential assertion but
+not the pruning bar (the trimmed range leaves fewer lengths to prune).
+"""
+
+import time
+
+import numpy as np
+
+from _common import fast_mode, save_report, save_result_json
+from repro import obs
+from repro.core.discords import find_discords
+from repro.core.discords_variable import find_discords_pruned
+from repro.harness.reporting import format_table
+
+#: headline configuration (the committed baseline).
+FULL_N, FULL_RANGE = 4_000, (16, 80)
+SMOKE_N, SMOKE_RANGE = 1_200, (16, 36)
+
+#: discords to find == anomalies injected (see the module docstring).
+K = 3
+ANOMALY_WIDTH = 20
+
+#: acceptance bar for the committed full-mode baseline.
+MIN_PRUNED_FRACTION = 0.5
+
+
+def _workload(n: int) -> np.ndarray:
+    """Noisy sine with ``K`` similar-width bump anomalies."""
+    rng = np.random.default_rng(7)
+    x = np.linspace(0.0, 0.02 * np.pi * n, n)
+    t = np.sin(x) + 0.05 * rng.standard_normal(n)
+    for pos in (n // 8, (3 * n) // 8, (5 * n) // 8):
+        t[pos : pos + ANOMALY_WIDTH] += 4.0 * np.hanning(ANOMALY_WIDTH)
+    return t
+
+
+def test_mad_discords_pruning(benchmark):
+    smoke = fast_mode()
+    n = SMOKE_N if smoke else FULL_N
+    l_min, l_max = SMOKE_RANGE if smoke else FULL_RANGE
+    series = _workload(n)
+
+    def sweep():
+        start = time.perf_counter()
+        full = find_discords(series, l_min, l_max, k=K)
+        full_seconds = time.perf_counter() - start
+        with obs.tracing(True):
+            before = dict(obs.get_tracer().counters())
+            start = time.perf_counter()
+            pruned = find_discords_pruned(series, l_min, l_max, k=K)
+            pruned_seconds = time.perf_counter() - start
+            after = dict(obs.get_tracer().counters())
+        counters = {
+            name: value - before.get(name, 0)
+            for name, value in after.items()
+            if value != before.get(name, 0)
+        }
+        return full, full_seconds, pruned, pruned_seconds, counters
+
+    full, full_seconds, pruned, pruned_seconds, counters = benchmark.pedantic(
+        sweep, iterations=1, rounds=1
+    )
+
+    # The exactness claim, pinned to the timing run.
+    assert full == pruned
+
+    swept = counters.get("discords.lengths.swept", 0)
+    recomputed = counters.get("discords.profiles.recomputed", 0)
+    n_pruned = counters.get("discords.profiles.pruned", 0)
+    assert swept == l_max - l_min + 1
+    assert n_pruned + recomputed == swept
+    fraction = n_pruned / swept if swept else 0.0
+    speedup = full_seconds / pruned_seconds if pruned_seconds > 0 else float("inf")
+
+    payload = {
+        "bench": "mad_discords",
+        "series_size": int(series.size),
+        "l_min": int(l_min),
+        "l_max": int(l_max),
+        "k": int(K),
+        "smoke": smoke,
+        "full_seconds": full_seconds,
+        "pruned_seconds": pruned_seconds,
+        "speedup": speedup,
+        "identical": True,
+        "counters": {
+            "discords.lengths.swept": int(swept),
+            "discords.profiles.recomputed": int(recomputed),
+            "discords.profiles.pruned": int(n_pruned),
+        },
+        "pruned_fraction": fraction,
+        "discords": [
+            {
+                "start": d.start,
+                "length": d.length,
+                "normalized_distance": d.normalized_distance,
+            }
+            for d in pruned
+        ],
+    }
+    save_report(
+        "mad_discords",
+        format_table(
+            ["driver", "seconds", "profiles computed"],
+            [
+                ("full", f"{full_seconds:.3f}", swept),
+                ("pruned", f"{pruned_seconds:.3f}", recomputed),
+            ],
+        )
+        + f"\nn={series.size} range={l_min}..{l_max} k={K} "
+        f"pruned {n_pruned}/{swept} ({fraction:.0%}) "
+        f"speedup {speedup:.2f}x smoke={smoke}",
+    )
+    save_result_json("BENCH_mad_discords", payload)
+
+    if not smoke:
+        assert fraction > MIN_PRUNED_FRACTION

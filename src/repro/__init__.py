@@ -37,13 +37,19 @@ Package layout
 from repro.core.valmod import Valmod, ValmodResult, valmod, DEFAULT_P
 from repro.core.valmp import VALMP
 from repro.core.motif_sets import compute_motif_sets, find_motif_sets
-from repro.core.ranking import rank_motif_pairs, top_motifs_across_lengths
+from repro.core.ranking import (
+    RankedEvent,
+    rank_motif_pairs,
+    top_motifs_across_lengths,
+    unified_ranking,
+)
 from repro.core.lower_bound import (
     lower_bound_distance,
     lower_bound_profile,
     tightness_of_lower_bound,
 )
 from repro.core.discords import Discord, find_discords
+from repro.core.discords_variable import find_discords_pruned
 from repro.core.pan import PanMatrixProfile, compute_pan_matrix_profile
 from repro.core.chains import Chain, all_chains, unanchored_chain
 from repro.core.segmentation import fluss, regime_boundaries
@@ -78,7 +84,7 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnnotationSummary",
@@ -109,6 +115,9 @@ __all__ = [
     "compute_with",
     "Discord",
     "find_discords",
+    "find_discords_pruned",
+    "RankedEvent",
+    "unified_ranking",
     "PanMatrixProfile",
     "compute_pan_matrix_profile",
     "Chain",

@@ -216,6 +216,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(discords)
     discords.add_argument("--top", type=int, default=3, help="discords to print")
+    driver = discords.add_mutually_exclusive_group()
+    driver.add_argument(
+        "--pruned",
+        dest="pruned",
+        action="store_true",
+        default=True,
+        help="lower-bound-pruned driver: skips lengths the Eq. 2 bounds "
+        "rule out (default; identical output to --exact-full)",
+    )
+    driver.add_argument(
+        "--exact-full",
+        dest="pruned",
+        action="store_false",
+        help="ablation: full matrix profile at every length",
+    )
 
     sets = sub.add_parser("sets", help="discover variable-length motif sets")
     _add_series_arguments(sets)
@@ -314,13 +329,16 @@ def _cmd_features(args: argparse.Namespace) -> int:
         print(f"# {len(result.motif_sets)} motif sets")
         for motif_set in result.motif_sets:
             print(motif_set_summary(motif_set))
-    if result.discords:
-        rows = [
-            (d.length, d.start, f"{d.distance:.4f}",
-             f"{d.normalized_distance:.4f}")
-            for d in result.discords
-        ]
-        print(format_table(["length", "start", "distance", "normalized"], rows))
+    for family in (result.discords, result.discords_variable):
+        if family:
+            rows = [
+                (d.length, d.start, f"{d.distance:.4f}",
+                 f"{d.normalized_distance:.4f}")
+                for d in family
+            ]
+            print(
+                format_table(["length", "start", "distance", "normalized"], rows)
+            )
     if result.chain is not None:
         print(
             f"# chain: {len(result.chain)} members spanning "
@@ -385,14 +403,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_discords(args: argparse.Namespace) -> int:
     series = _load_series(args)
+    family = "discords_variable" if args.pruned else "discords"
     result = extract_features(
-        series, args.l_min, args.l_max, include=("discords",),
+        series, args.l_min, args.l_max, include=(family,),
         k_discords=args.top, engine=args.engine, n_jobs=args.n_jobs,
         store=False,
     )
+    found = result.discords_variable if args.pruned else result.discords
     rows = [
         (d.length, d.start, f"{d.distance:.4f}", f"{d.normalized_distance:.4f}")
-        for d in result.discords
+        for d in found
     ]
     print(format_table(["length", "start", "distance", "normalized"], rows))
     return 0

@@ -20,6 +20,10 @@ Modules
     Algorithms 5-6 — top-K variable-length motif sets.
 :mod:`repro.core.ranking`
     Length-normalized ranking utilities (Section 3).
+:mod:`repro.core.discords`
+    Variable-length discords: the full-profile reference driver.
+:mod:`repro.core.discords_variable`
+    MAD-style lower-bound-pruned discord driver (exact, same output).
 """
 
 from repro.core.lower_bound import (
@@ -31,9 +35,21 @@ from repro.core.lower_bound import (
 from repro.core.valmp import VALMP
 from repro.core.valmod import Valmod, ValmodResult, valmod
 from repro.core.motif_sets import find_motif_sets
-from repro.core.ranking import rank_motif_pairs, top_motifs_across_lengths
+from repro.core.discords import Discord, find_discords
+from repro.core.discords_variable import find_discords_pruned
+from repro.core.ranking import (
+    RankedEvent,
+    rank_motif_pairs,
+    top_motifs_across_lengths,
+    unified_ranking,
+)
 
 __all__ = [
+    "Discord",
+    "find_discords",
+    "find_discords_pruned",
+    "RankedEvent",
+    "unified_ranking",
     "lower_bound_base",
     "lower_bound_distance",
     "lower_bound_profile",

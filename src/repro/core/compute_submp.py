@@ -43,7 +43,7 @@ from repro.exceptions import InvalidParameterError
 from repro.kernels.context import SeriesContext
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 
-__all__ = ["SubMPResult", "compute_submp"]
+__all__ = ["SubMPResult", "compute_submp", "pairwise_entry_distances"]
 
 
 @dataclass
@@ -73,7 +73,7 @@ class SubMPResult:
         return int(np.isfinite(self.sub_profile).sum())
 
 
-def _pairwise_distances(
+def pairwise_entry_distances(
     qt: FloatArray,
     nb: IntArray,
     usable: BoolArray,
@@ -82,7 +82,14 @@ def _pairwise_distances(
     sigma: FloatArray,
     length: int,
 ) -> FloatArray:
-    """Exact distances for every stored entry at ``length`` (vectorized Eq. 3)."""
+    """Exact distances for every stored entry at ``length`` (vectorized Eq. 3).
+
+    Shared by ComputeSubMP's validity test and the MAD-style discord
+    driver (:mod:`repro.core.discords_variable`): each stored pair's
+    dot product, advanced to ``length``, yields that pair's exact
+    z-normalized distance, which is an *upper bound* on the profile
+    minimum of its row.  Unusable entries report ``+inf``.
+    """
     n_rows = qt.shape[0]
     safe_nb = np.where(in_range, nb, 0)
     mu_i = mu[safe_nb]
@@ -144,7 +151,7 @@ def compute_submp(
         obs.add("listdp.hits", hits)
         obs.add("listdp.misses", slots - hits)
 
-    dist = _pairwise_distances(qt, nb, usable, in_range, mu, sigma, new_length)
+    dist = pairwise_entry_distances(qt, nb, usable, in_range, mu, sigma, new_length)
     lb = np.asarray(
         lower_bound_from_base(store.lb_base[:n_dp], sigma[:n_dp][:, None]),
         dtype=np.float64,

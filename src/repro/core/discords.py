@@ -11,10 +11,18 @@ the profile values (the same ``sqrt(1/l)`` scale that makes motifs
 comparable makes discords comparable), and returns the top-k
 non-overlapping discords across all lengths.
 
-Exactness note: per-position values require the *full* matrix profile
-of each length, so this driver runs the per-length engines directly
-(VALMOD's partial subMP intentionally leaves non-valid positions
-unknown, which is fine for minima but not maxima).
+Exactness note: two exact drivers share the candidate-extraction and
+cross-length selection helpers of this module.  :func:`find_discords`
+is the reference path — one *full* matrix profile per length (VALMOD's
+partial subMP intentionally leaves non-valid positions unknown, which
+is fine for minima but not maxima, so the full profile is unavoidable
+for the lengths that are actually evaluated).
+:func:`~repro.core.discords_variable.find_discords_pruned` is the
+MAD-style path: it evaluates the full profile only at lengths the
+lower-bound machinery cannot certify as irrelevant, and returns a
+bitwise-identical discord list.  The full-profile driver remains the
+right choice for single lengths, tiny ranges, and as the differential
+oracle the pruned driver is tested against.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.registry import compute_with
 from repro.types import FloatArray, length_normalized
 
-__all__ = ["Discord", "find_discords"]
+__all__ = ["Discord", "find_discords", "per_length_candidates", "select_top_k"]
 
 
 @dataclass(frozen=True, order=True)
@@ -47,6 +55,69 @@ class Discord:
     @property
     def end(self) -> int:
         return self.start + self.length
+
+
+def per_length_candidates(
+    profile: FloatArray, length: int, k: int
+) -> List[Discord]:
+    """Up to ``k`` non-overlapping per-length maxima of one profile.
+
+    The per-length half of discord discovery, shared verbatim by the
+    full-profile and the lower-bound-pruned drivers so that, given
+    bitwise-identical profiles, they extract bitwise-identical
+    candidates.  Cross-length competition happens in
+    :func:`select_top_k`.
+    """
+    finite = np.isfinite(profile)
+    order = np.argsort(profile)[::-1]
+    zone = exclusion_zone_half_width(length)
+    candidates: List[Discord] = []
+    taken: List[int] = []
+    for pos in order:
+        pos = int(pos)
+        if not finite[pos]:
+            continue
+        if any(abs(pos - other) < zone for other in taken):
+            continue
+        candidates.append(
+            Discord(
+                normalized_distance=length_normalized(
+                    float(profile[pos]), length
+                ),
+                distance=float(profile[pos]),
+                length=length,
+                start=pos,
+            )
+        )
+        taken.append(pos)
+        if len(taken) >= k:
+            break
+    return candidates
+
+
+def select_top_k(candidates: Sequence[Discord], k: int) -> List[Discord]:
+    """Greedy cross-length selection: best-first, non-overlapping.
+
+    Candidates are stable-sorted by normalized distance (descending), so
+    equal-distance discords keep their pool order — ties break
+    deterministically toward the shorter length, then the earlier
+    per-length rank, because both drivers build the pool in ascending
+    length order.  The exclusion zone of the *longer* window applies
+    between a candidate and every already-chosen discord.
+    """
+    result: List[Discord] = []
+    for candidate in sorted(candidates, reverse=True):
+        zone = exclusion_zone_half_width(candidate.length)
+        if any(
+            abs(candidate.start - chosen.start)
+            < max(zone, exclusion_zone_half_width(chosen.length))
+            for chosen in result
+        ):
+            continue
+        result.append(candidate)
+        if len(result) >= k:
+            break
+    return result
 
 
 @require(
@@ -78,6 +149,12 @@ def find_discords(
     costs one matrix profile per length); ``context`` reuses an existing
     per-series stats/FFT cache — results are bitwise identical with or
     without one.
+
+    This driver evaluates the full matrix profile at *every* scanned
+    length.  For wide ranges prefer
+    :func:`repro.core.discords_variable.find_discords_pruned`, which
+    returns the identical list while skipping the lengths the Eq. 2
+    lower bounds certify as unable to reach the top-k.
     """
     t = as_series(series, min_length=8)
     if l_min > l_max:
@@ -100,44 +177,5 @@ def find_discords(
     candidates: List[Discord] = []
     for length in scan:
         mp = compute_with(engine, t, length, n_jobs=n_jobs, context=ctx)
-        finite = np.isfinite(mp.profile)
-        order = np.argsort(mp.profile)[::-1]
-        # Keep a handful of per-length maxima; cross-length competition
-        # happens below.
-        kept = 0
-        zone = exclusion_zone_half_width(length)
-        taken: List[int] = []
-        for pos in order:
-            pos = int(pos)
-            if not finite[pos]:
-                continue
-            if any(abs(pos - other) < zone for other in taken):
-                continue
-            candidates.append(
-                Discord(
-                    normalized_distance=length_normalized(
-                        float(mp.profile[pos]), length
-                    ),
-                    distance=float(mp.profile[pos]),
-                    length=length,
-                    start=pos,
-                )
-            )
-            taken.append(pos)
-            kept += 1
-            if kept >= k:
-                break
-
-    result: List[Discord] = []
-    for candidate in sorted(candidates, reverse=True):
-        zone = exclusion_zone_half_width(candidate.length)
-        if any(
-            abs(candidate.start - chosen.start)
-            < max(zone, exclusion_zone_half_width(chosen.length))
-            for chosen in result
-        ):
-            continue
-        result.append(candidate)
-        if len(result) >= k:
-            break
-    return result
+        candidates.extend(per_length_candidates(mp.profile, length, k))
+    return select_top_k(candidates, k)

@@ -1,0 +1,239 @@
+"""MAD-style exact variable-length discord discovery with LB pruning.
+
+"Matrix Profile Goes MAD" (Linardi et al., PAPERS.md) extends VALMOD's
+lower-bound machinery from motifs (profile *minima*) to discords
+(profile *maxima*).  The full-profile driver in
+:mod:`repro.core.discords` pays one O(n^2) matrix profile per length;
+this module pays that price only for lengths that can still matter.
+
+How the bound flips sides
+-------------------------
+The listDP store keeps, per position ``j``, the ``p`` candidates with
+the smallest Eq. 2 lower bound, each with its dot product maintained in
+O(1) per length increment.  At any later length ``l``:
+
+* every stored pair's *exact* distance is an upper bound on the profile
+  value ``MP_l[j]`` (the minimum over all candidates can only be
+  smaller), so ``ub[j] = min over stored entries`` bounds the row from
+  above;
+* the largest lower bound among stored entries bounds every *unstored*
+  candidate from below (rank preservation, Section 4.2), closing the
+  interval ``[min(minDist, maxLB), minDist]`` that contains ``MP_l[j]``.
+
+A discord is a profile maximum, so a whole length ``l`` is irrelevant
+once the largest length-normalized upper bound over its positions,
+``U_l = max_j ub[j] / sqrt(l)``, falls strictly below the running k-th
+discord threshold: no position of that length can enter the top-k, and
+the full profile need never be computed.  Only lengths whose interval
+overlaps the threshold are recomputed exactly — with the same
+registered engine the full-profile driver would use, so the values (and
+therefore the returned discords) are bitwise identical.
+
+Exactness argument
+------------------
+The ascending sweep prunes against the *running* threshold, which can
+later drop (a strong discord can overlap and evict previously selected
+ones, shrinking the selection).  A final certification loop therefore
+re-checks every pruned length against the *final* threshold and
+recomputes any length whose bound reaches it, until a fixpoint: every
+still-pruned length has ``U_l`` strictly below the k-th selected
+discord's normalized distance and the selection holds ``k`` entries.
+At that point the greedy selection (stable sort, best first) consumes
+the pruned lengths' candidates — all strictly weaker than the k-th
+selection — only after it is already full, so dropping them cannot
+change the output (see ``docs/DISCORDS.md`` for the full argument).
+
+Observability: per length, exactly one of
+``discords.profiles.pruned`` / ``discords.profiles.recomputed`` is
+incremented, so their sum equals ``discords.lengths.swept`` — the
+accounting identity behind the Fig.-9-style discord pruning power
+``pruned / swept``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.compute_mp import compute_matrix_profile
+from repro.core.compute_submp import pairwise_entry_distances
+from repro.core.discords import Discord, per_length_candidates, select_top_k
+from repro.core.valmod import DEFAULT_P
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
+from repro.lint.contracts import instance_of, positive_int, require, series_like
+from repro.matrixprofile.exclusion import exclusion_zone_half_width
+from repro.matrixprofile.registry import compute_with
+from repro.types import FloatArray, IntArray
+
+__all__ = ["find_discords_pruned", "UB_RELATIVE_SLACK"]
+
+#: relative safety margin on the pruning comparison.  The stored dot
+#: products accumulate one rounding error per length increment, so the
+#: upper bound carries float noise the engine profiles do not; inflating
+#: it before the strict comparison keeps a noisy bound from pruning a
+#: length whose true maximum ties the threshold.  Pruning less is always
+#: exact — this margin only ever converts a prune into a recompute.
+UB_RELATIVE_SLACK = 1e-9
+
+
+def _length_upper_bound(
+    store_neighbor: IntArray,
+    store_qt: FloatArray,
+    ctx: SeriesContext,
+    length: int,
+) -> float:
+    """``U_l``: largest normalized per-position upper bound at ``length``.
+
+    ``+inf`` when any surviving position has no usable stored entry
+    (nothing bounds its profile value, so the length cannot be pruned).
+    """
+    n = ctx.series.size
+    n_dp = n - length + 1
+    mu, sigma = ctx.moving_mean_std(length)
+    zone = exclusion_zone_half_width(length)
+    nb = store_neighbor[:n_dp]
+    qt = store_qt[:n_dp]
+    rows = np.arange(n_dp)[:, None]
+    in_range = (nb >= 0) & (nb <= n - length)
+    usable = in_range & (np.abs(nb - rows) >= zone)
+    dist = pairwise_entry_distances(qt, nb, usable, in_range, mu, sigma, length)
+    min_dist = dist.min(axis=1)
+    return float(min_dist.max()) / math.sqrt(length)
+
+
+@require(
+    series=series_like(min_length=8),
+    l_min=positive_int(),
+    l_max=positive_int(),
+    k=positive_int(),
+    p=positive_int(),
+    engine=instance_of(str),
+)
+def find_discords_pruned(
+    series: FloatArray,
+    l_min: int,
+    l_max: int,
+    k: int = 3,
+    engine: str = "stomp",
+    n_jobs: Optional[int] = 1,
+    lengths: Optional[Sequence[int]] = None,
+    context: Optional[SeriesContext] = None,
+    p: int = DEFAULT_P,
+) -> List[Discord]:
+    """Top-k variable-length discords via exact lower-bound pruning.
+
+    Bitwise-identical to :func:`repro.core.discords.find_discords` with
+    the same arguments (the per-length profiles that *are* evaluated
+    come from the same registered ``engine``), but full profiles are
+    computed only for lengths the Eq. 2 bounds cannot rule out.  ``p``
+    is the listDP width used for the bounds (the paper's Table 2
+    default); it affects how much is pruned, never the result.  The one
+    extra cost over a pruned length range is a single Algorithm 3 pass
+    at the smallest scanned length to build the bound store.
+
+    ``lengths`` restricts the scan to a subset of ``[l_min, l_max]``;
+    intermediate lengths are still traversed by the O(n p) dot-product
+    advance, but no profile is evaluated for them and they do not count
+    toward the pruning statistics.
+    """
+    t = as_series(series, min_length=8)
+    if l_min > l_max:
+        raise InvalidParameterError(f"l_min ({l_min}) must not exceed l_max ({l_max})")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if lengths is None:
+        scan: List[int] = list(range(l_min, l_max + 1))
+    else:
+        scan = sorted({int(length) for length in lengths})
+        if not scan:
+            raise InvalidParameterError("lengths must be non-empty when given")
+        for length in scan:
+            if not l_min <= length <= l_max:
+                raise InvalidParameterError(
+                    f"discord length {length} outside [{l_min}, {l_max}]"
+                )
+    ctx = SeriesContext.ensure(t, context, min_length=8)
+    scan_set = frozenset(scan)
+
+    # Per-length candidate lists keyed by length: concatenated in
+    # ascending-length order they reproduce the full driver's pool (for
+    # the lengths that were evaluated) entry for entry.
+    computed: Dict[int, List[Discord]] = {}
+    pruned: Dict[int, float] = {}
+
+    def _candidates_at(length: int) -> List[Discord]:
+        with obs.span("discords.profile"):
+            mp = compute_with(engine, t, length, n_jobs=n_jobs, context=ctx)
+        return per_length_candidates(mp.profile, length, k)
+
+    def _selection() -> List[Discord]:
+        pool = [c for length in sorted(computed) for c in computed[length]]
+        return select_top_k(pool, k)
+
+    base = scan[0]
+    computed[base] = _candidates_at(base)
+    selection = _selection()
+
+    if len(scan) > 1:
+        # The candidate values above came from the caller's engine; the
+        # bound store additionally needs the listDP bookkeeping, which
+        # only the Algorithm 3 pass produces.
+        with obs.span("discords.listdp"):
+            _, store = compute_matrix_profile(
+                t, base, p, n_jobs=n_jobs, context=ctx
+            )
+        for length in range(base + 1, scan[-1] + 1):
+            with obs.span("discords.advance"):
+                store.advance_to(length, t)
+            if length not in scan_set:
+                continue
+            # Until the selection holds k entries, *any* candidate could
+            # still enter it, so nothing may be pruned.
+            threshold = (
+                selection[k - 1].normalized_distance
+                if len(selection) == k
+                else -math.inf
+            )
+            upper = _length_upper_bound(store.neighbor, store.qt, ctx, length)
+            if upper * (1.0 + UB_RELATIVE_SLACK) < threshold:
+                pruned[length] = upper
+                continue
+            computed[length] = _candidates_at(length)
+            selection = _selection()
+
+        # Certification loop: the sweep pruned against running
+        # thresholds; re-validate every pruned length against the final
+        # one, recomputing violators until the fixpoint described in the
+        # module docstring.
+        while pruned:
+            selection = _selection()
+            if len(selection) == k:
+                threshold = selection[k - 1].normalized_distance
+                violating = sorted(
+                    length
+                    for length, upper in pruned.items()
+                    if upper * (1.0 + UB_RELATIVE_SLACK) >= threshold
+                )
+            else:
+                violating = sorted(pruned)
+            if not violating:
+                break
+            for length in violating:
+                computed[length] = _candidates_at(length)
+                del pruned[length]
+
+    if obs.enabled():
+        obs.add("discords.lengths.swept", len(scan))
+        obs.add("discords.profiles.recomputed", len(computed))
+        obs.add("discords.profiles.pruned", len(pruned))
+        for length in computed:
+            obs.add(f"discords.profiles.recomputed.l{length}")
+        for length in pruned:
+            obs.add(f"discords.profiles.pruned.l{length}")
+
+    return _selection()

@@ -26,6 +26,7 @@ from repro import obs
 from repro.core.annotation import variance_annotation
 from repro.core.chains import Chain, unanchored_chain
 from repro.core.discords import Discord, find_discords
+from repro.core.discords_variable import find_discords_pruned
 from repro.core.motif_sets import compute_motif_sets
 from repro.core.ranking import top_motifs_across_lengths
 from repro.core.segmentation import boundaries_from_cac, fluss
@@ -59,6 +60,7 @@ __all__ = [
 INCLUDE_OPTIONS: Tuple[str, ...] = (
     "motif_sets",
     "discords",
+    "discords_variable",
     "chains",
     "segmentation",
     "annotation",
@@ -119,7 +121,10 @@ def extract_features(
     output), then the families named by ``include`` — ``motif_sets``
     (Algorithms 5-6, parameters ``motif_set_k``/``radius_factor``),
     ``discords`` (``k_discords`` anomalies; ``discord_lengths``
-    restricts the scan to specific lengths), ``chains``,
+    restricts the scan to specific lengths), ``discords_variable``
+    (the same anomalies via the MAD-style lower-bound-pruned driver —
+    identical output, far fewer full profiles on wide ranges; ``p``
+    sizes its bound store), ``chains``,
     ``segmentation`` (FLUSS at ``l_min``, splitting into ``n_regimes``),
     and ``annotation`` (variance-annotation summary).  One shared
     :class:`~repro.kernels.SeriesContext` serves all of them, so window
@@ -272,6 +277,17 @@ def _compute(
                 )
             )
 
+    discords_variable: Tuple[Discord, ...] = ()
+    if "discords_variable" in included:
+        with obs.span("features.discords_variable"):
+            discords_variable = tuple(
+                find_discords_pruned(
+                    t, l_min, l_max, k=k_discords, engine=engine,
+                    n_jobs=n_jobs, lengths=scan_lengths, context=context,
+                    p=p,
+                )
+            )
+
     chain: Optional[Chain] = None
     if "chains" in included:
         with obs.span("features.chains"):
@@ -310,6 +326,7 @@ def _compute(
         top_motifs=top_motifs,
         motif_sets=motif_sets,
         discords=discords,
+        discords_variable=discords_variable,
         chain=chain,
         regime_boundaries=boundaries,
         regime_cac=regime_cac,

@@ -63,7 +63,14 @@ class SeriesFeatures:
     motif_sets:
         Algorithm 5-6 motif sets (empty unless ``motif_sets`` included).
     discords:
-        Top anomalies, best first (empty unless ``discords`` included).
+        Top anomalies, best first (empty unless ``discords`` included),
+        from the full-profile-per-length driver.
+    discords_variable:
+        Top anomalies from the MAD-style lower-bound-pruned driver
+        (empty unless ``discords_variable`` included).  Bitwise
+        identical to what ``discords`` would hold under the same
+        parameters — the two fields exist so the ablation pair can be
+        cached and compared side by side.
     chain:
         The unanchored time-series chain at ``l_min``, or ``None`` when
         not included or when no chain exists.
@@ -86,6 +93,7 @@ class SeriesFeatures:
     top_motifs: Tuple[MotifPair, ...]
     motif_sets: Tuple[MotifSet, ...] = ()
     discords: Tuple[Discord, ...] = ()
+    discords_variable: Tuple[Discord, ...] = ()
     chain: Optional[Chain] = None
     regime_boundaries: Optional[Tuple[int, ...]] = None
     regime_cac: Optional[Tuple[float, ...]] = None
@@ -111,10 +119,15 @@ class SeriesFeatures:
 
     @property
     def discord_distance(self) -> Optional[float]:
-        """Normalized distance of the top discord, ``None`` if absent."""
-        if not self.discords:
+        """Normalized distance of the top discord, ``None`` if absent.
+
+        Reads whichever discord family was computed (the two drivers
+        return identical lists, so the preference is immaterial).
+        """
+        pool = self.discords or self.discords_variable
+        if not pool:
             return None
-        return self.discords[0].normalized_distance
+        return pool[0].normalized_distance
 
     def pairs_by_length(self) -> Dict[int, MotifPair]:
         """The per-length exact pairs as a ``length -> pair`` mapping."""

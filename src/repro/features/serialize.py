@@ -80,6 +80,15 @@ def features_to_dict(features: SeriesFeatures) -> Dict[str, Any]:
             }
             for discord in features.discords
         ],
+        "discords_variable": [
+            {
+                "start": discord.start,
+                "length": discord.length,
+                "distance": discord.distance,
+                "normalized_distance": discord.normalized_distance,
+            }
+            for discord in features.discords_variable
+        ],
         "chain": (
             None
             if features.chain is None
@@ -161,6 +170,17 @@ def features_from_dict(data: Mapping[str, Any]) -> SeriesFeatures:
                     start=int(item["start"]),
                 )
                 for item in data["discords"]
+            ),
+            # Absent in pre-v2 payloads (user-exported JSON): default to
+            # the empty tuple rather than rejecting the whole payload.
+            discords_variable=tuple(
+                Discord(
+                    normalized_distance=float(item["normalized_distance"]),
+                    distance=float(item["distance"]),
+                    length=int(item["length"]),
+                    start=int(item["start"]),
+                )
+                for item in data.get("discords_variable", ())
             ),
             chain=chain,
             regime_boundaries=(

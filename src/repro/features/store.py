@@ -43,7 +43,7 @@ __all__ = [
 
 #: bump when the envelope or payload layout changes: old entries then
 #: miss (their keys differ) instead of being misread.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 #: environment variable naming the default store directory.
 STORE_ENV = "REPRO_FEATURES_STORE"

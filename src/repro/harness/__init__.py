@@ -10,6 +10,7 @@ the ``REPRO_BENCH_SCALE`` environment variable or the ``scale`` argument.
 from repro.harness.config import BenchmarkGrid, default_grid
 from repro.harness.runner import ALGORITHMS, RunOutcome, run_algorithm
 from repro.harness.reporting import format_table, format_histogram
+from repro.harness.discord_ablation import sweep_discord_drivers
 from repro.harness.experiments import (
     SweepResult,
     sweep_motif_length,
@@ -20,6 +21,7 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "sweep_discord_drivers",
     "BenchmarkGrid",
     "default_grid",
     "ALGORITHMS",

@@ -35,6 +35,7 @@ _WORKLOAD_GROUPS: Dict[str, str] = {
     "repro.core.motif_sets": "motifs",
     "repro.core.ranking": "motifs",
     "repro.core.discords": "discords",
+    "repro.core.discords_variable": "discords",
     "repro.core.chains": "chains",
     "repro.core.segmentation": "segmentation",
     "repro.core.annotation": "annotation",

@@ -37,7 +37,11 @@ def derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
     of distance profiles whose minimum the stored listDP entries certify
     exactly — Fig. 9's pruning fraction.  ``listdp_hit_rate``: fraction
     of listDP slots still usable (in range, outside the exclusion zone)
-    at lookup time.
+    at lookup time.  ``discords_pruning_power``: fraction of scanned
+    lengths whose full profile the MAD-style discord driver skipped —
+    ``discords.profiles.pruned / discords.lengths.swept`` (the two
+    per-length counters partition the sweep, see
+    :mod:`repro.core.discords_variable`).
     """
     out: Dict[str, float] = {}
     total = counters.get("submp.profiles.total", 0)
@@ -49,6 +53,11 @@ def derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
             length = match.group(1)
             valid = counters.get(f"submp.profiles.valid.l{length}", 0)
             out[f"pruning_power.l{length}"] = valid / value
+    swept = counters.get("discords.lengths.swept", 0)
+    if swept:
+        out["discords_pruning_power"] = (
+            counters.get("discords.profiles.pruned", 0) / swept
+        )
     lookups = counters.get("listdp.lookups", 0)
     if lookups:
         out["listdp_hit_rate"] = counters.get("listdp.hits", 0) / lookups

@@ -1,0 +1,136 @@
+"""Differential wall: the pruned discord driver vs the full-profile oracle.
+
+The MAD-style driver's contract is *bitwise identity*: for any input,
+engine, length range, k, and caching mode, ``find_discords_pruned``
+returns exactly the ``Discord`` list ``find_discords`` would.  Every
+test here asserts ``==`` on the dataclass lists (which compares the
+float distances exactly), never ``allclose`` — the pruned driver
+evaluates profiles with the same registered engine, so there is no
+tolerance to grant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.discords import find_discords
+from repro.core.discords_variable import find_discords_pruned
+from repro.exceptions import InvalidParameterError
+from repro.kernels.context import SeriesContext
+from repro.matrixprofile.registry import engine_names
+
+
+@pytest.fixture(scope="module")
+def anomalous_series():
+    """Periodic series with three similar-width injected anomalies."""
+    x = np.linspace(0, 24 * np.pi, 700)
+    t = np.sin(x) + 0.05 * np.random.default_rng(11).standard_normal(700)
+    for pos in (90, 300, 520):
+        t[pos : pos + 14] += 4.0 * np.hanning(14)
+    return t
+
+
+class TestDifferentialEngines:
+    @pytest.mark.parametrize("engine", sorted(engine_names()))
+    def test_every_engine_bitwise_identical(self, anomalous_series, engine):
+        t = anomalous_series[:260] if engine == "brute" else anomalous_series
+        l_min, l_max = (12, 18) if engine == "brute" else (12, 30)
+        full = find_discords(t, l_min, l_max, k=3, engine=engine)
+        pruned = find_discords_pruned(t, l_min, l_max, k=3, engine=engine)
+        assert full == pruned
+
+
+class TestDifferentialShapes:
+    @pytest.mark.parametrize("l_min,l_max", [(16, 16), (16, 17), (10, 40)])
+    def test_length_ranges(self, anomalous_series, l_min, l_max):
+        full = find_discords(anomalous_series, l_min, l_max, k=3)
+        pruned = find_discords_pruned(anomalous_series, l_min, l_max, k=3)
+        assert full == pruned
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 50])
+    def test_k_values(self, anomalous_series, k):
+        full = find_discords(anomalous_series, 14, 26, k=k)
+        pruned = find_discords_pruned(anomalous_series, 14, 26, k=k)
+        assert full == pruned
+
+    def test_lengths_subset(self, anomalous_series):
+        lengths = [12, 15, 21, 30]
+        full = find_discords(anomalous_series, 12, 30, k=3, lengths=lengths)
+        pruned = find_discords_pruned(
+            anomalous_series, 12, 30, k=3, lengths=lengths
+        )
+        assert full == pruned
+
+    @pytest.mark.parametrize("p", [2, 5, 50])
+    def test_p_never_changes_the_result(self, anomalous_series, p):
+        # p sizes the bound store: it moves the pruned/recomputed split,
+        # never the output.
+        baseline = find_discords(anomalous_series, 12, 28, k=3)
+        assert find_discords_pruned(anomalous_series, 12, 28, k=3, p=p) == baseline
+
+
+class TestDifferentialCaching:
+    def test_stats_cache_on_off(self, anomalous_series):
+        t = anomalous_series
+        ctx = SeriesContext(t)
+        without = find_discords_pruned(t, 14, 26, k=3)
+        with_cache = find_discords_pruned(t, 14, 26, k=3, context=ctx)
+        assert without == with_cache == find_discords(t, 14, 26, k=3)
+
+    def test_repeat_call_deterministic(self, anomalous_series):
+        first = find_discords_pruned(anomalous_series, 14, 26, k=3)
+        second = find_discords_pruned(anomalous_series, 14, 26, k=3)
+        assert first == second
+
+
+class TestDifferentialEdgeCases:
+    def test_constant_series(self):
+        t = np.zeros(300)
+        assert find_discords_pruned(t, 16, 24, k=2) == find_discords(
+            t, 16, 24, k=2
+        )
+
+    def test_flat_segment(self):
+        t = np.random.default_rng(3).standard_normal(400)
+        t[100:180] = 0.25  # dead-air window inside a noisy series
+        assert find_discords_pruned(t, 12, 24, k=3) == find_discords(
+            t, 12, 24, k=3
+        )
+
+    def test_k_exceeding_non_overlapping_discords(self):
+        t = np.sin(np.linspace(0, 8 * np.pi, 200))
+        full = find_discords(t, 16, 40, k=50)
+        pruned = find_discords_pruned(t, 16, 40, k=50)
+        assert full == pruned
+        assert len(pruned) < 50
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_series_differential(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(220)
+        full = find_discords(t, 10, 22, k=3)
+        pruned = find_discords_pruned(t, 10, 22, k=3)
+        assert full == pruned
+
+
+class TestValidation:
+    def test_reversed_range(self, anomalous_series):
+        with pytest.raises(InvalidParameterError):
+            find_discords_pruned(anomalous_series, 30, 24)
+
+    def test_bad_k(self, anomalous_series):
+        with pytest.raises(InvalidParameterError):
+            find_discords_pruned(anomalous_series, 14, 26, k=0)
+
+    def test_empty_lengths(self, anomalous_series):
+        with pytest.raises(InvalidParameterError):
+            find_discords_pruned(anomalous_series, 14, 26, lengths=[])
+
+    def test_lengths_outside_range(self, anomalous_series):
+        with pytest.raises(InvalidParameterError):
+            find_discords_pruned(anomalous_series, 14, 26, lengths=[40])
+
+    def test_unknown_engine(self, anomalous_series):
+        with pytest.raises(InvalidParameterError):
+            find_discords_pruned(anomalous_series, 14, 26, engine="nope")

@@ -28,7 +28,14 @@ from repro.features import (
     features_to_dict,
 )
 
-ALL_FAMILIES = ("motif_sets", "discords", "chains", "segmentation", "annotation")
+ALL_FAMILIES = (
+    "motif_sets",
+    "discords",
+    "discords_variable",
+    "chains",
+    "segmentation",
+    "annotation",
+)
 
 
 def pair_bits(pair):
@@ -74,6 +81,25 @@ class TestFacadeMatchesParts:
             for d in expected
         ]
         assert features.discord_distance == expected[0].normalized_distance
+
+    def test_discords_variable_matches_both_drivers(self, noise_series):
+        pruned = extract_features(
+            noise_series, 16, 18, p=10, include=("discords_variable",),
+            k_discords=2, store=False,
+        )
+        full = extract_features(
+            noise_series, 16, 18, p=10, include=("discords",),
+            k_discords=2, store=False,
+        )
+        assert pruned.discords == ()
+        assert full.discords_variable == ()
+        # Same anomalies through either family, and through the direct
+        # oracle call.
+        assert pruned.discords_variable == full.discords
+        assert pruned.discords_variable == tuple(
+            find_discords(noise_series, 16, 18, k=2)
+        )
+        assert pruned.discord_distance == full.discord_distance
 
     def test_discord_lengths_restrict_the_scan(self, noise_series):
         features = extract_features(

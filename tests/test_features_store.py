@@ -90,8 +90,8 @@ class TestWarmPath:
 
     def test_all_families_round_trip_through_store(self, series, tmp_path):
         store = FeatureStore(tmp_path / "cache")
-        include = ("motif_sets", "discords", "chains", "segmentation",
-                   "annotation")
+        include = ("motif_sets", "discords", "discords_variable", "chains",
+                   "segmentation", "annotation")
         cold, _ = traced_extract(series, store, include=include)
         warm, counters = traced_extract(series, store, include=include)
         assert counters.get("features.cache.hits", 0) == 1
@@ -136,7 +136,13 @@ class TestKeySensitivity:
 
     @pytest.mark.parametrize(
         "delta",
-        [{"p": 11}, {"l_max": 19}, {"engine": "scamp"}, {"top_k": 4}],
+        [
+            {"p": 11},
+            {"l_max": 19},
+            {"engine": "scamp"},
+            {"top_k": 4},
+            {"include": ["discords_variable"]},
+        ],
     )
     def test_any_param_changes_the_key(self, series, delta):
         changed = {**self.PARAMS, **delta}

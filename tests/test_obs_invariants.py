@@ -19,7 +19,9 @@ from hypothesis import given, settings, strategies as st
 from repro import obs
 from repro.analysis.pruning import pruning_margins
 from repro.cli import main
+from repro.core.discords_variable import find_discords_pruned
 from repro.core.valmod import Valmod
+from repro.obs.report import derived_metrics
 from repro.datasets.registry import load_dataset
 from repro.matrixprofile.parallel import parallel_stomp
 from repro.matrixprofile.stomp import stomp
@@ -105,6 +107,34 @@ class TestCounterAccounting:
         )
         assert serial["engine.cells"] > 0
         assert serial == chunked
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_discord_pruned_recomputed_partition_swept(self, seed):
+        # The MAD driver's accounting identity: every scanned length is
+        # either pruned or recomputed, never both, never neither —
+        # mirroring the ComputeSubMP valid/invalid partition above.
+        rng = np.random.default_rng(seed)
+        t = rng.standard_normal(260)
+        t[100:114] += 3.0 * np.hanning(14)
+        l_min, l_max = 10, 20
+        counters = _traced_counters(
+            lambda: find_discords_pruned(t, l_min, l_max, k=2)
+        )
+        swept = counters["discords.lengths.swept"]
+        assert swept == l_max - l_min + 1
+        pruned = counters.get("discords.profiles.pruned", 0)
+        recomputed = counters.get("discords.profiles.recomputed", 0)
+        assert pruned + recomputed == swept
+        # Per-length: exactly one of the two markers per scanned length.
+        for length in range(l_min, l_max + 1):
+            p_l = counters.get(f"discords.profiles.pruned.l{length}", 0)
+            r_l = counters.get(f"discords.profiles.recomputed.l{length}", 0)
+            assert p_l + r_l == 1
+        # ...and the derived report metric is the pruned fraction.
+        assert derived_metrics(counters).get(
+            "discords_pruning_power"
+        ) == pytest.approx(pruned / swept)
 
 
 class TestFigure9Consistency:

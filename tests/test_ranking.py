@@ -2,17 +2,28 @@
 
 import pytest
 
+from repro.core.discords import Discord
 from repro.core.ranking import (
     deduplicate_pairs,
     rank_motif_pairs,
     top_motifs_across_lengths,
+    unified_ranking,
 )
 from repro.exceptions import InvalidParameterError
-from repro.types import MotifPair
+from repro.types import MotifPair, length_normalized
 
 
 def pair(a, b, length, dist):
     return MotifPair.build(a, b, length, dist)
+
+
+def discord(start, length, dist):
+    return Discord(
+        normalized_distance=length_normalized(dist, length),
+        distance=dist,
+        length=length,
+        start=start,
+    )
 
 
 class TestRank:
@@ -81,3 +92,42 @@ class TestTopAcrossLengths:
     def test_k_validation(self):
         with pytest.raises(InvalidParameterError):
             top_motifs_across_lengths({}, 0)
+
+
+class TestUnifiedRanking:
+    def test_interleaves_by_family_rank(self):
+        motifs = [pair(0, 300, 16, 1.0), pair(600, 900, 24, 2.0)]
+        discords = [discord(100, 16, 9.0), discord(400, 24, 8.0)]
+        events = unified_ranking(motifs, discords)
+        assert [(e.kind, e.rank) for e in events] == [
+            ("motif", 1), ("discord", 1), ("motif", 2), ("discord", 2),
+        ]
+        # Best-first within each family on the normalized scale.
+        assert events[0].normalized_distance < events[2].normalized_distance
+        assert events[1].normalized_distance > events[3].normalized_distance
+
+    def test_uneven_families_append_the_tail(self):
+        motifs = [pair(0, 300, 16, 1.0)]
+        discords = [discord(100, 16, 9.0), discord(400, 24, 8.0),
+                    discord(700, 32, 7.0)]
+        kinds = [e.kind for e in unified_ranking(motifs, discords)]
+        assert kinds == ["motif", "discord", "discord", "discord"]
+
+    def test_k_truncates(self):
+        motifs = [pair(0, 300, 16, 1.0), pair(600, 900, 24, 2.0)]
+        discords = [discord(100, 16, 9.0)]
+        assert len(unified_ranking(motifs, discords, k=2)) == 2
+        with pytest.raises(InvalidParameterError):
+            unified_ranking(motifs, discords, k=0)
+
+    def test_starts_carry_positions(self):
+        events = unified_ranking(
+            [pair(5, 50, 16, 1.0)], [discord(200, 16, 9.0)]
+        )
+        assert events[0].starts == (5, 50)
+        assert events[1].starts == (200,)
+
+    def test_empty_families(self):
+        assert unified_ranking([], []) == []
+        only_discords = unified_ranking([], [discord(0, 16, 3.0)])
+        assert [e.kind for e in only_discords] == ["discord"]
