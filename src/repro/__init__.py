@@ -84,7 +84,7 @@ from repro.exceptions import (
     ReproError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnnotationSummary",

@@ -24,6 +24,7 @@ from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
 from repro.kernels.context import ensure_context
 from repro.matrixprofile.index import MatrixProfile
+from repro.lint.contracts import finite_array, positive_int, require, series_like
 
 __all__ = [
     "apply_annotation",
@@ -32,6 +33,7 @@ __all__ = [
 ]
 
 
+@require(annotation=finite_array())
 def apply_annotation(mp: MatrixProfile, annotation: FloatArray) -> MatrixProfile:
     """The corrected matrix profile ``CMP = MP + (1 - AV) * max(MP)``."""
     av = np.asarray(annotation, dtype=np.float64)
@@ -52,6 +54,7 @@ def apply_annotation(mp: MatrixProfile, annotation: FloatArray) -> MatrixProfile
     )
 
 
+@require(series=series_like(), length=positive_int())
 def variance_annotation(series: FloatArray, length: int) -> FloatArray:
     """AV favoring lively regions: per-window std rescaled to [0, 1].
 
@@ -66,6 +69,7 @@ def variance_annotation(series: FloatArray, length: int) -> FloatArray:
     return (sigma - sigma.min()) / span
 
 
+@require(n_subsequences=positive_int())
 def interval_annotation(
     n_subsequences: int, suppressed: Iterable[Tuple[int, int]]
 ) -> FloatArray:

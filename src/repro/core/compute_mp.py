@@ -48,6 +48,7 @@ __all__ = ["compute_matrix_profile", "row_blocks"]
 REPLAY_COST = 0.35
 
 
+@require(n_rows=positive_int(), n_blocks=positive_int())
 def row_blocks(n_rows: int, n_blocks: int, replay_cost: float = REPLAY_COST) -> List[Tuple[int, int]]:
     """Split ``[0, n_rows)`` into blocks with balanced replay-aware cost.
 

@@ -57,6 +57,7 @@ class Discord:
         return self.start + self.length
 
 
+@require(length=positive_int(), k=positive_int())
 def per_length_candidates(
     profile: FloatArray, length: int, k: int
 ) -> List[Discord]:
@@ -95,6 +96,7 @@ def per_length_candidates(
     return candidates
 
 
+@require(k=positive_int())
 def select_top_k(candidates: Sequence[Discord], k: int) -> List[Discord]:
     """Greedy cross-length selection: best-first, non-overlapping.
 

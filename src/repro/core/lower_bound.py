@@ -42,6 +42,7 @@ from repro.distance.profile import correlation_from_qt
 from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
 from repro.kernels.context import ensure_context
+from repro.lint.contracts import finite_array, int_at_least, positive_int, require, series_like
 
 __all__ = [
     "lower_bound_base",
@@ -54,6 +55,7 @@ __all__ = [
 FloatOrArray = Union[float, FloatArray]
 
 
+@require(length=positive_int())
 def lower_bound_base(
     correlation: FloatOrArray, length: int, sigma_owner: float
 ) -> FloatOrArray:
@@ -78,7 +80,7 @@ def lower_bound_base(
     return result
 
 
-def lower_bound_from_base(
+def lower_bound_from_base(  # repro-lint: ignore[R013] - listDP sentinel entries are +-inf by design
     lb_base: FloatOrArray, sigma_owner_at_target: FloatOrArray
 ) -> FloatOrArray:
     """Eq. 2 evaluated at a target length: ``lb_base / sigma[j, l+k]``.
@@ -95,6 +97,13 @@ def lower_bound_from_base(
     return lb
 
 
+@require(
+    series=series_like(),
+    i=int_at_least(0),
+    j=int_at_least(0),
+    length=positive_int(),
+    k=int_at_least(0),
+)
 def lower_bound_distance(
     series: FloatArray, i: int, j: int, length: int, k: int
 ) -> float:
@@ -127,6 +136,12 @@ def lower_bound_distance(
     return float(lower_bound_from_base(base, sig_owner_ext))
 
 
+@require(
+    series=series_like(),
+    owner=int_at_least(0),
+    length=positive_int(),
+    k=int_at_least(0),
+)
 def lower_bound_profile(
     series: FloatArray, owner: int, length: int, k: int
 ) -> FloatArray:
@@ -164,6 +179,7 @@ def lower_bound_profile(
     return lb
 
 
+@require(lb=finite_array())
 def tightness_of_lower_bound(
     lb: FloatOrArray, true_distance: FloatOrArray
 ) -> FloatOrArray:

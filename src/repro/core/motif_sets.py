@@ -78,6 +78,10 @@ def _greedy_non_trivial(
     return kept
 
 
+@require(
+    series=series_like(),
+    radius_factor=number_in(0.0, float("inf"), open_low=True),
+)
 def compute_motif_sets(
     series: FloatArray,
     pairs: List[PairRecord],

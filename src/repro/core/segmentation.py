@@ -23,6 +23,7 @@ from repro.types import FloatArray, IntArray
 from repro.distance.znorm import as_series
 from repro.exceptions import InvalidParameterError
 from repro.matrixprofile.stomp import stomp
+from repro.lint.contracts import instance_of, int_at_least, positive_int, require, series_like
 
 __all__ = [
     "arc_curve",
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 
+@require(index=instance_of(np.ndarray))
 def arc_curve(index: IntArray) -> FloatArray:
     """Raw arc crossings per position from a matrix-profile index."""
     idx = np.asarray(index, dtype=np.int64)
@@ -47,6 +49,7 @@ def arc_curve(index: IntArray) -> FloatArray:
     return np.cumsum(delta[:n]).astype(np.float64)
 
 
+@require(index=instance_of(np.ndarray), length=positive_int())
 def corrected_arc_curve(index: IntArray, length: int) -> FloatArray:
     """The CAC: arcs normalized by the random-arc parabola, in [0, 1].
 
@@ -68,6 +71,7 @@ def corrected_arc_curve(index: IntArray, length: int) -> FloatArray:
     return cac
 
 
+@require(series=series_like(), length=positive_int())
 def fluss(series: FloatArray, length: int) -> FloatArray:
     """Corrected arc curve of a series (computes the MP internally)."""
     t = as_series(series, min_length=8)
@@ -75,6 +79,7 @@ def fluss(series: FloatArray, length: int) -> FloatArray:
     return corrected_arc_curve(mp.index, length)
 
 
+@require(length=positive_int(), n_regimes=int_at_least(1))
 def boundaries_from_cac(
     cac: FloatArray, length: int, n_regimes: int = 2
 ) -> List[int]:
@@ -102,6 +107,7 @@ def boundaries_from_cac(
     return sorted(boundaries)
 
 
+@require(series=series_like(), length=positive_int(), n_regimes=int_at_least(1))
 def regime_boundaries(
     series: FloatArray, length: int, n_regimes: int = 2
 ) -> List[int]:

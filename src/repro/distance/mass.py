@@ -47,6 +47,7 @@ def mass(
     return mass_with_stats(t, start, length, mu, sigma, context=context)
 
 
+@require(start=int_at_least(0), length=positive_int())
 def mass_with_stats(
     series: FloatArray,
     start: int,

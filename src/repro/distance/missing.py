@@ -29,6 +29,7 @@ import numpy as np
 from repro.types import BoolArray, FloatArray
 
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.lint.contracts import int_at_least, positive_int, require
 
 __all__ = [
     "admissible_distance",
@@ -39,12 +40,12 @@ __all__ = [
 _EPS = 1e-13
 
 
-def has_missing(series: FloatArray) -> bool:
+def has_missing(series: FloatArray) -> bool:  # repro-lint: ignore[R013] - NaN-bearing input is the domain
     """True when the series contains NaN gaps."""
     return bool(np.isnan(np.asarray(series, dtype=np.float64)).any())
 
 
-def admissible_distance(a: FloatArray, b: FloatArray) -> float:
+def admissible_distance(a: FloatArray, b: FloatArray) -> float:  # repro-lint: ignore[R013] - NaN-bearing input is the domain
     """Minimum achievable z-normalized distance given the NaN gaps.
 
     With no gaps this equals the exact z-normalized distance.  With
@@ -96,6 +97,7 @@ def admissible_distance(a: FloatArray, b: FloatArray) -> float:
     return factor * math.sqrt(m) * sig_xo / sig_x_full
 
 
+@require(start=int_at_least(0), length=positive_int())
 def missing_aware_profile(
     series: FloatArray, start: int, length: int
 ) -> Tuple[FloatArray, BoolArray]:

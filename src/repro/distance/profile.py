@@ -19,6 +19,7 @@ from repro.types import FloatArray
 
 from repro.distance.znorm import CONSTANT_EPS, znormalized_distance
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import int_at_least, positive_int, require, series_like
 
 __all__ = [
     "correlation_from_qt",
@@ -28,6 +29,7 @@ __all__ = [
 ]
 
 
+@require(length=positive_int())
 def correlation_from_qt(
     qt: FloatArray,
     length: int,
@@ -51,6 +53,7 @@ def correlation_from_qt(
     return corr
 
 
+@require(length=positive_int())
 def distance_profile_from_qt(
     qt: FloatArray,
     length: int,
@@ -80,6 +83,7 @@ def distance_profile_from_qt(
     return profile
 
 
+@require(series=series_like(), start=int_at_least(0), length=positive_int())
 def naive_distance_profile(series: FloatArray, start: int, length: int) -> FloatArray:
     """Reference distance profile by explicit re-normalization (O(n l)).
 
@@ -99,6 +103,7 @@ def naive_distance_profile(series: FloatArray, start: int, length: int) -> Float
     return profile
 
 
+@require(center=int_at_least(0), exclusion=int_at_least(0))
 def apply_exclusion_zone(
     profile: FloatArray, center: int, exclusion: int, value: float = np.inf
 ) -> FloatArray:

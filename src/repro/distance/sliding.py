@@ -25,6 +25,7 @@ from repro.types import ComplexArray, FloatArray
 
 from repro.exceptions import InvalidParameterError
 from repro.distance.znorm import CONSTANT_EPS, as_series
+from repro.lint.contracts import finite_array, int_at_least, positive_int, require
 
 __all__ = [
     "DIRECT_DOT_MAX",
@@ -42,6 +43,7 @@ __all__ = [
 DIRECT_DOT_MAX = 64
 
 
+@require(n=positive_int(), m=positive_int())
 def fft_plan_size(n: int, m: int) -> int:
     """Zero-padded FFT length used for an ``(n, m)`` sliding dot product.
 
@@ -52,6 +54,7 @@ def fft_plan_size(n: int, m: int) -> int:
     return 1 << int(np.ceil(np.log2(n + m)))
 
 
+@require(query=finite_array())
 def sliding_dot_product(
     query: FloatArray,
     series: FloatArray,
@@ -100,6 +103,7 @@ def sliding_dot_product(
     return conv[m - 1 : n]
 
 
+@require(window=positive_int())
 def moving_mean_std(series: FloatArray, window: int) -> Tuple[FloatArray, FloatArray]:
     """Mean and std of every length-``window`` subsequence, in O(n).
 
@@ -142,6 +146,7 @@ def moving_mean_std(series: FloatArray, window: int) -> Tuple[FloatArray, FloatA
     return mu, sigma
 
 
+@require(series=finite_array())
 def prefix_sums(series: FloatArray) -> Tuple[FloatArray, FloatArray]:
     """Cumulative sum and cumulative squared sum, each with a leading zero.
 
@@ -158,6 +163,7 @@ def prefix_sums(series: FloatArray) -> Tuple[FloatArray, FloatArray]:
     return cumsum, cumsum_sq
 
 
+@require(start=int_at_least(0), length=positive_int())
 def window_sums_at(
     cumsum: FloatArray, cumsum_sq: FloatArray, start: int, length: int
 ) -> Tuple[float, float]:
@@ -169,6 +175,7 @@ def window_sums_at(
     )
 
 
+@require(start=int_at_least(0), length=positive_int())
 def window_mean_std_at(
     cumsum: FloatArray, cumsum_sq: FloatArray, start: int, length: int
 ) -> Tuple[float, float]:

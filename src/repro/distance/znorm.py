@@ -24,6 +24,7 @@ import numpy as np
 from repro.types import FloatArray
 
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.lint.contracts import positive_int, require, series_like
 
 __all__ = [
     "as_series",
@@ -41,6 +42,7 @@ CONSTANT_EPS = 1e-13
 ArrayLike = Union[FloatArray, list, tuple]
 
 
+@require(min_length=positive_int())
 def as_series(data: ArrayLike, min_length: int = 2) -> FloatArray:
     """Validate and convert input to a 1-D float64 array.
 
@@ -59,6 +61,7 @@ def as_series(data: ArrayLike, min_length: int = 2) -> FloatArray:
     return series
 
 
+@require(subsequence=series_like(min_length=1))
 def znormalize(subsequence: ArrayLike) -> FloatArray:
     """Return the z-normalized copy ``(x - mean) / std`` of a subsequence.
 
@@ -75,6 +78,7 @@ def znormalize(subsequence: ArrayLike) -> FloatArray:
     return (x - mu) / sigma
 
 
+@require(a=series_like(min_length=1), b=series_like(min_length=1))
 def znormalized_distance(a: ArrayLike, b: ArrayLike) -> float:
     """Exact z-normalized Euclidean distance between two subsequences.
 
@@ -97,6 +101,7 @@ def znormalized_distance(a: ArrayLike, b: ArrayLike) -> float:
     return float(np.linalg.norm(znormalize(x) - znormalize(y)))
 
 
+@require(length=positive_int())
 def pearson_to_distance(correlation: float, length: int) -> float:
     """Convert Pearson correlation to z-normalized Euclidean distance.
 
@@ -110,6 +115,7 @@ def pearson_to_distance(correlation: float, length: int) -> float:
     return math.sqrt(2.0 * length * (1.0 - q))
 
 
+@require(length=positive_int())
 def distance_to_pearson(distance: float, length: int) -> float:
     """Inverse of :func:`pearson_to_distance`: ``q = 1 - dist^2 / (2l)``."""
     if length <= 0:

@@ -16,6 +16,7 @@ __all__ = [
     "NotComputedError",
     "BudgetExceededError",
     "ContractViolationError",
+    "SeriesContractViolationError",
 ]
 
 
@@ -55,3 +56,13 @@ class ContractViolationError(InvalidParameterError, TypeError):
     callers treating API misuse as a typing problem.
     """
 
+
+class SeriesContractViolationError(ContractViolationError, InvalidSeriesError):
+    """A contract on a series-shaped parameter was violated.
+
+    The series predicates (``series_like``, ``float64_array``,
+    ``finite_array``) police the same domain in-function validation
+    reports as :class:`InvalidSeriesError`, so their violations derive
+    from it too — an ``except InvalidSeriesError`` written against the
+    ordinary validation keeps working when contracts are enabled.
+    """

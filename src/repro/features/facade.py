@@ -335,6 +335,7 @@ def _compute(
     )
 
 
+@require(l_min=positive_int(), l_max=positive_int())
 def extract_features_batch(
     series_list: Sequence[SeriesLike],
     l_min: int,

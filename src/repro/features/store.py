@@ -65,7 +65,7 @@ def _canonical_json(value: Any) -> str:
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
-def feature_cache_key(series: Any, params: Mapping[str, Any]) -> str:
+def feature_cache_key(series: Any, params: Mapping[str, Any]) -> str:  # repro-lint: ignore[R013] - hashes arbitrary series-like input
     """Content address of one ``extract_features`` query.
 
     ``series`` is hashed as its raw buffer plus dtype and shape, so a
@@ -231,7 +231,7 @@ class FeatureStore:
         return removed
 
 
-def resolve_store(
+def resolve_store(  # repro-lint: ignore[R013] - pure dispatch over a union type
     store: Union[FeatureStore, str, Path, bool, None],
 ) -> Optional[FeatureStore]:
     """Normalize the façade's ``store`` argument.

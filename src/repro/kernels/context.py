@@ -48,6 +48,7 @@ from repro.distance.sliding import (
     sliding_dot_product,
 )
 from repro.distance.znorm import as_series
+from repro.lint.contracts import positive_int, require
 
 __all__ = ["SeriesContext", "ensure_context"]
 
@@ -189,6 +190,7 @@ class SeriesContext:
         )
 
 
+@require(min_length=positive_int())
 def ensure_context(
     series: SeriesLike,
     context: Optional[SeriesContext] = None,

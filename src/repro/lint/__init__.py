@@ -1,12 +1,20 @@
-"""`repro.lint`: kernel-invariant static analyzer for the numerical core.
+"""`repro.lint`: whole-project static analyzer for the numerical core.
 
 The exactness guarantees of the matrix-profile family rest on a handful of
 numerical invariants — clip before ``sqrt``, guard every division by a
 window deviation, centralize the exclusion-zone arithmetic, keep parallel
 reductions deterministic.  This package encodes them as AST-based rules
-(R001–R006) that run over the source tree and fail CI on violations::
+(R001–R013) that run over the source tree and fail CI on violations::
 
     python -m repro.lint src/
+
+Beyond the per-file syntactic rules, the analyzer builds a whole-project
+view (:class:`~repro.lint.graph.ProjectContext`: module table, import
+graph, observability emission sites) and an intraprocedural dataflow
+layer (:mod:`repro.lint.dataflow`: CFG, reaching definitions, taint) for
+the cross-file and provenance rules — R010 checks every emitted obs name
+against :mod:`repro.obs.registry`, R012 proves no float32 value escapes
+a kernel without a float64 verify.
 
 See ``docs/LINTING.md`` for the rule catalog and the historical bug each
 rule would have caught.  Runtime shape/dtype/finiteness contracts (enabled
@@ -16,14 +24,17 @@ with ``REPRO_CONTRACTS=1``) live in :mod:`repro.lint.contracts`.
 from __future__ import annotations
 
 from repro.lint.base import Diagnostic, FileContext, Rule
+from repro.lint.graph import ProjectContext
 from repro.lint.rules import all_rules
-from repro.lint.runner import lint_paths, lint_source
+from repro.lint.runner import lint_paths, lint_project, lint_source
 
 __all__ = [
     "Diagnostic",
     "FileContext",
+    "ProjectContext",
     "Rule",
     "all_rules",
     "lint_paths",
+    "lint_project",
     "lint_source",
 ]

@@ -4,7 +4,18 @@ A :class:`FileContext` wraps one parsed source file: its AST, the raw
 lines, the ``# repro-lint:`` pragmas, and lazily computed per-scope guard
 information (clip/floor assignments, comparison guards, ``np.errstate``
 spans) that several rules consult.  Rules subclass :class:`Rule` and yield
-:class:`Diagnostic` objects.
+:class:`Diagnostic` objects; they run in one of three phases:
+
+* ``file`` rules check one :class:`FileContext` at a time (and may read
+  the shared :class:`~repro.lint.graph.ProjectContext` for cross-file
+  facts);
+* ``project`` rules run once per invocation over the whole project;
+* ``post`` rules run after pragma filtering, over the suppression
+  accounting itself (R011 stale-pragma).
+
+Pragma suppression is applied centrally by the runner, which records
+which pragmas actually consumed a diagnostic — the raw material of the
+stale-pragma rule.
 """
 
 from __future__ import annotations
@@ -13,14 +24,19 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports base)
+    from repro.lint.graph import ProjectContext
 
 __all__ = [
     "Diagnostic",
     "FileContext",
+    "PragmaRecord",
     "Rule",
     "Scope",
     "call_name",
+    "imported_names",
     "name_tokens",
     "is_guard_call",
     "iter_calls",
@@ -91,6 +107,24 @@ def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
     for sub in ast.walk(node):
         if isinstance(sub, ast.Call):
             yield sub
+
+
+def imported_names(tree: ast.AST) -> Iterator[Tuple[ast.stmt, str]]:
+    """Every absolute dotted module name a file imports.
+
+    ``from repro import obs`` is expanded to ``repro.obs`` (and likewise
+    for any ``from <pkg> import <sub>``), so aliasing cannot hide a
+    layering violation.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            # yield only the expanded names: ``from repro import obs`` is
+            # an import of repro.obs, not of the whole repro package.
+            for alias in node.names:
+                yield node, f"{node.module}.{alias.name}"
 
 
 def _end_line(node: ast.AST) -> int:
@@ -197,6 +231,41 @@ def _scan_scope(scope: Scope) -> None:
                     break
 
 
+@dataclass
+class PragmaRecord:
+    """One ``# repro-lint: ignore[...]`` pragma and its bookkeeping.
+
+    ``covered`` is the set of source lines the pragma suppresses on —
+    its own line, widened to the full span of a multi-line simple
+    statement it sits inside (diagnostics anchor at the statement's
+    first line, the pragma may trail the last).  ``used`` collects the
+    rule ids that actually consumed a diagnostic, which is what the
+    stale-pragma rule (R011) audits.
+    """
+
+    line: int
+    rule_ids: Set[str]
+    covered: Set[int]
+    used: Set[str] = field(default_factory=set)
+
+
+#: non-compound statements: a pragma anywhere in their line span applies
+#: to the whole statement.  Compound statements (if/for/while/try) are
+#: excluded so a pragma inside a 50-line branch does not blanket it.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+)
+
+
 class FileContext:
     """One source file under analysis."""
 
@@ -213,16 +282,63 @@ class FileContext:
         self.module_parts: Tuple[str, ...] = tuple(p.name for p in rel.parents)[
             ::-1
         ] + (rel.stem,)
-        self.ignores: Dict[int, Set[str]] = {}
+        self.pragmas: List[PragmaRecord] = []
         self.skip_file = False
         for lineno, line in enumerate(self.lines, start=1):
             match = _PRAGMA_RE.search(line)
             if match:
-                ids = {part.strip() for part in match.group(1).split(",")}
-                self.ignores.setdefault(lineno, set()).update(ids - {""})
+                ids = {part.strip() for part in match.group(1).split(",")} - {""}
+                if ids:
+                    self.pragmas.append(
+                        PragmaRecord(line=lineno, rule_ids=ids, covered={lineno})
+                    )
             if _SKIP_FILE_RE.search(line):
                 self.skip_file = True
+        if self.pragmas:
+            self._widen_multiline_pragmas()
         self._scopes: Optional[List[Scope]] = None
+
+    def _widen_multiline_pragmas(self) -> None:
+        """Let a pragma on any line of a multi-line statement cover it all.
+
+        Black-style formatting regularly splits a flagged call over
+        several lines with the pragma trailing the closing parenthesis;
+        the diagnostic anchors at the statement's first line.  Function
+        signatures get the same treatment (the def line through the line
+        before the body) so R013 pragmas may trail a wrapped signature.
+        """
+        for node in ast.walk(self.tree):
+            start = getattr(node, "lineno", None)
+            end = getattr(node, "end_lineno", None)
+            if start is None or end is None:
+                continue
+            if isinstance(node, _SIMPLE_STMTS):
+                span_end = end
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                span_end = node.body[0].lineno - 1 if node.body else end
+            else:
+                continue
+            if span_end <= start:
+                continue
+            span = range(start, span_end + 1)
+            for record in self.pragmas:
+                if start < record.line <= span_end:
+                    record.covered.update(span)
+
+    @property
+    def module_name(self) -> str:
+        """Best-effort dotted module name (``repro.obs.registry``).
+
+        Paths inside a ``repro`` directory are rooted there; anything
+        else (fixtures, scratch files) joins all its parts, which keeps
+        names unique without claiming package membership.
+        """
+        parts = [part for part in self.module_parts if part]
+        if "repro" in parts:
+            parts = parts[parts.index("repro") :]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
 
     # -- classification ----------------------------------------------------
 
@@ -284,37 +400,82 @@ class FileContext:
         return best
 
     def ignored(self, line: int, rule_id: str) -> bool:
-        return rule_id in self.ignores.get(line, set())
+        """True when a pragma suppresses ``rule_id`` on ``line`` (read-only)."""
+        return any(
+            rule_id in record.rule_ids and line in record.covered
+            for record in self.pragmas
+        )
+
+    def consume(self, line: int, rule_id: str) -> bool:
+        """Like :meth:`ignored`, but records the suppression as *used*.
+
+        The runner calls this while filtering; the usage marks feed the
+        stale-pragma rule (R011).
+        """
+        hit = False
+        for record in self.pragmas:
+            if rule_id in record.rule_ids and line in record.covered:
+                record.used.add(rule_id)
+                hit = True
+        return hit
 
 
 class Rule:
-    """Base class for lint rules."""
+    """Base class for lint rules.
+
+    ``phase`` selects how the runner drives the rule:
+
+    * ``"file"`` — :meth:`check` is called once per applicable file.
+    * ``"project"`` — :meth:`check_project` is called once per run.
+    * ``"post"`` — :meth:`check_project` is called once per run, after
+      pragma filtering (the suppression accounting is populated).
+
+    Pragma filtering is the runner's responsibility; ``check`` yields
+    raw diagnostics.
+    """
 
     rule_id: str = ""
     name: str = ""
     summary: str = ""
     rationale: str = ""
+    phase: str = "file"
 
     def applies(self, ctx: FileContext) -> bool:
         return True
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         raise NotImplementedError
 
-    def run(self, ctx: FileContext) -> List[Diagnostic]:
+    def check_project(self, project: "ProjectContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def run(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> List[Diagnostic]:
+        """Raw diagnostics for one file (no pragma filtering)."""
         if ctx.skip_file or not self.applies(ctx):
             return []
-        return [
-            diag
-            for diag in self.check(ctx)
-            if not ctx.ignored(diag.line, diag.rule_id)
-        ]
+        return list(self.check(ctx, project))
 
     def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
         return Diagnostic(
             path=ctx.display_path,
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+    def diag_at(
+        self, ctx: FileContext, line: int, col: int, message: str
+    ) -> Diagnostic:
+        """A diagnostic at an explicit location (project/post rules)."""
+        return Diagnostic(
+            path=ctx.display_path,
+            line=line,
+            col=col,
             rule_id=self.rule_id,
             message=message,
         )
@@ -326,11 +487,23 @@ def parse_file(path: Path, root: Optional[Path] = None) -> FileContext:
 
 
 def discover_files(paths: Sequence[Path]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directory walks skip ``__pycache__`` and hidden directories
+    explicitly (a stray ``.py`` inside a cache directory must not lint),
+    and non-``.py`` arguments are dropped rather than parsed.
+    """
     found: List[Path] = []
     for path in paths:
         if path.is_dir():
-            found.extend(sorted(path.rglob("*.py")))
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in relative.parts[:-1]
+                ):
+                    continue
+                found.append(candidate)
         elif path.suffix == ".py":
             found.append(path)
     return found

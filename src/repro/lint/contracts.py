@@ -7,7 +7,9 @@ environment variable ``REPRO_CONTRACTS`` is ``"1"`` at import time, they
 return the function unchanged — zero wrapper, zero overhead.  With
 ``REPRO_CONTRACTS=1`` every decorated call validates its inputs and
 result and raises :class:`repro.exceptions.ContractViolationError` on a
-violation.
+violation (series-shaped predicates raise the
+:class:`repro.exceptions.SeriesContractViolationError` subclass, which
+is also an :class:`repro.exceptions.InvalidSeriesError`).
 
 Usage::
 
@@ -25,14 +27,15 @@ from __future__ import annotations
 import functools
 import inspect
 import os
-from typing import Any, Callable, Optional, Sequence, Tuple, TypeVar, Union
+from typing import Any, Callable, Optional, Sequence, Tuple, Type, TypeVar, Union
 
 import numpy as np
 
-from repro.exceptions import ContractViolationError
+from repro.exceptions import ContractViolationError, SeriesContractViolationError
 
 __all__ = [
     "CONTRACTS_ENV",
+    "Contract",
     "contracts_enabled",
     "require",
     "ensure",
@@ -67,6 +70,33 @@ def contracts_enabled() -> bool:
 # ---------------------------------------------------------------------------
 
 
+class Contract:
+    """A predicate bundled with the error class its violations raise.
+
+    Plain function predicates raise :class:`ContractViolationError`;
+    wrapping one in a ``Contract`` lets a domain pick a more specific
+    subclass, so ``except`` clauses written against the ordinary
+    in-function validation behave identically with contracts on or off.
+    """
+
+    def __init__(
+        self,
+        check: Predicate,
+        error_class: Type[ContractViolationError] = ContractViolationError,
+    ) -> None:
+        self.check = check
+        self.error_class = error_class
+
+    def __call__(self, value: Any) -> Optional[str]:
+        return self.check(value)
+
+
+def _error_class(pred: Predicate) -> Type[ContractViolationError]:
+    if isinstance(pred, Contract):
+        return pred.error_class
+    return ContractViolationError
+
+
 def series_like(min_length: int = 2) -> Predicate:
     """A 1-D finite numeric array-like with at least ``min_length`` points."""
 
@@ -83,7 +113,7 @@ def series_like(min_length: int = 2) -> Predicate:
             return "series contains NaN or infinite values"
         return None
 
-    return check
+    return Contract(check, SeriesContractViolationError)
 
 
 def float64_array(ndim: Optional[int] = None) -> Predicate:
@@ -98,7 +128,7 @@ def float64_array(ndim: Optional[int] = None) -> Predicate:
             return f"expected ndim={ndim}, got {value.ndim}"
         return None
 
-    return check
+    return Contract(check, SeriesContractViolationError)
 
 
 def finite_array() -> Predicate:
@@ -110,7 +140,7 @@ def finite_array() -> Predicate:
             return "array contains NaN or infinite values"
         return None
 
-    return check
+    return Contract(check, SeriesContractViolationError)
 
 
 def positive_int() -> Predicate:
@@ -186,6 +216,9 @@ def optional(spec: PredicateSpec) -> Predicate:
                 return msg
         return None
 
+    classes = {_error_class(pred) for pred in preds}
+    if len(classes) == 1:
+        return Contract(check, classes.pop())
     return check
 
 
@@ -245,7 +278,7 @@ def require(
                 for pred in preds:
                     msg = pred(value)
                     if msg is not None:
-                        raise ContractViolationError(
+                        raise _error_class(pred)(
                             f"contract violated in {fn.__qualname__}(): "
                             f"parameter {name!r}: {msg}"
                         )
@@ -273,7 +306,7 @@ def ensure(
             for pred in preds:
                 msg = pred(result)
                 if msg is not None:
-                    raise ContractViolationError(
+                    raise _error_class(pred)(
                         f"contract violated in {fn.__qualname__}(): result: {msg}"
                     )
             return result

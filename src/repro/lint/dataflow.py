@@ -1,0 +1,514 @@
+"""Intraprocedural dataflow for lint rules: CFG + reaching definitions.
+
+The syntactic rules (R001–R009) match code shapes; the dataflow rules
+(R012) need *provenance*: which assignments can reach a use, so that a
+variable rebound from a float32 scratch value to a float64 recompute is
+not flagged at its float64 uses.  This module provides exactly the
+machinery that takes:
+
+* :func:`build_cfg` — a statement-level control-flow graph for one
+  function body, covering ``if``/``while``/``for``/``try``/``with``,
+  ``break``/``continue``/``return``/``raise``, and ``match``;
+* :class:`ReachingDefinitions` — the classic forward may-analysis over
+  that graph (gen/kill per statement, worklist to a fixpoint).
+  Definitions include plain and augmented assignments, ``for``/``with``
+  targets, function parameters, and — important for NumPy kernels —
+  ``out=name`` keyword arguments, which redefine their target in place;
+* :class:`TaintAnalysis` — a taint fixpoint on top of reaching
+  definitions.  A rule supplies a *producer* predicate (expressions
+  that introduce taint) and sets of *sanitizer* callables/attributes
+  (index-producing and shape-probing operations whose results do not
+  carry the tainted value); the analysis answers "can this expression,
+  at this statement, evaluate to a tainted value?".
+
+Everything is standard library; functions are analyzed independently
+(nested ``def``/``lambda`` bodies are opaque to the enclosing graph).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ControlFlowGraph",
+    "Definition",
+    "ReachingDefinitions",
+    "TaintAnalysis",
+    "build_cfg",
+    "definitions_in",
+    "expressions_of",
+    "iter_statements",
+]
+
+FunctionNode = ast.FunctionDef
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site: ``name`` bound at ``stmt`` (value may be None).
+
+    ``value`` is the defining expression when one exists — the RHS of an
+    assignment, the iterable of a ``for``, the context expression of a
+    ``with``, or the full call for an ``out=name`` in-place definition.
+    Parameters and ``except ... as name`` bindings have ``value=None``.
+    """
+
+    index: int
+    name: str
+    stmt: Optional[ast.stmt]
+    value: Optional[ast.expr]
+
+
+@dataclass
+class _Node:
+    """One CFG node: a single simple statement or a control header."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    succs: List[int] = field(default_factory=list)
+
+
+class ControlFlowGraph:
+    """Statement-level CFG for one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[_Node] = []
+        self.entry: int = self._new(None)
+        self.exit: int = self._new(None)
+        self.node_of_stmt: Dict[int, int] = {}
+
+    def _new(self, stmt: Optional[ast.stmt]) -> int:
+        node = _Node(index=len(self.nodes), stmt=stmt)
+        self.nodes.append(node)
+        if stmt is not None:
+            self.node_of_stmt[id(stmt)] = node.index
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+
+    def node_for(self, stmt: ast.stmt) -> Optional[int]:
+        return self.node_of_stmt.get(id(stmt))
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {node.index: [] for node in self.nodes}
+        for node in self.nodes:
+            for succ in node.succs:
+                preds[succ].append(node.index)
+        return preds
+
+
+def _is_opaque(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+
+
+def build_cfg(fn: FunctionNode) -> ControlFlowGraph:
+    """Build the CFG of ``fn``'s body (nested defs are single nodes)."""
+    cfg = ControlFlowGraph()
+    # loop stack: (continue_target, break_targets accumulator)
+    loop_stack: List[Tuple[int, List[int]]] = []
+
+    def chain(body: Sequence[ast.stmt], heads: List[int]) -> List[int]:
+        """Wire ``body`` after every node in ``heads``; return the exits."""
+        current = list(heads)
+        for stmt in body:
+            current = visit(stmt, current)
+            if not current:
+                break  # unreachable fallthrough (return/raise/break...)
+        return current
+
+    def visit(stmt: ast.stmt, preds: List[int]) -> List[int]:
+        node = cfg._new(stmt)
+        for pred in preds:
+            cfg._edge(pred, node)
+        if isinstance(stmt, ast.If):
+            then_exits = chain(stmt.body, [node])
+            else_exits = chain(stmt.orelse, [node]) if stmt.orelse else [node]
+            return then_exits + else_exits
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: List[int] = []
+            loop_stack.append((node, breaks))
+            body_exits = chain(stmt.body, [node])
+            for exit_node in body_exits:
+                cfg._edge(exit_node, node)  # back edge
+            loop_stack.pop()
+            after = chain(stmt.orelse, [node]) if stmt.orelse else [node]
+            return after + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return chain(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            body_exits = chain(stmt.body, [node])
+            # An exception may surface before any body statement ran, or
+            # after all of them: handlers hang off both ends (a coarse
+            # but sound may-analysis approximation).
+            handler_exits: List[int] = []
+            for handler in stmt.handlers:
+                handler_node = cfg._new(handler_stmt(handler))
+                cfg._edge(node, handler_node)
+                for exit_node in body_exits:
+                    cfg._edge(exit_node, handler_node)
+                handler_exits.extend(chain(handler.body, [handler_node]))
+            else_exits = (
+                chain(stmt.orelse, body_exits) if stmt.orelse else body_exits
+            )
+            exits = else_exits + handler_exits
+            if stmt.finalbody:
+                return chain(stmt.finalbody, exits or [node])
+            return exits
+        if isinstance(stmt, ast.Match):
+            case_exits: List[int] = [node]  # no case may match
+            for case in stmt.cases:
+                case_exits.extend(chain(case.body, [node]))
+            return case_exits
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg._edge(node, cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            if loop_stack:
+                loop_stack[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if loop_stack:
+                cfg._edge(node, loop_stack[-1][0])
+            return []
+        return [node]
+
+    exits = chain(fn.body, [cfg.entry])
+    for exit_node in exits:
+        cfg._edge(exit_node, cfg.exit)
+    return cfg
+
+
+def handler_stmt(handler: ast.excepthandler) -> ast.stmt:
+    """A synthetic ``stmt`` standing in for an except clause header.
+
+    ``ast.excepthandler`` is not a statement, but the CFG wants one node
+    per binding site (``except E as name`` defines ``name``).  A ``Pass``
+    carrying the handler's location and a back-pointer serves; the stub
+    lives in the CFG node, so no extra bookkeeping is needed.
+    """
+    stub = ast.Pass()
+    stub.lineno = handler.lineno
+    stub.col_offset = handler.col_offset
+    stub._repro_handler = handler  # type: ignore[attr-defined]
+    return stub
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _walk_expr_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an expression without descending into lambda/comprehension bodies."""
+    yield node
+    if isinstance(node, ast.Lambda):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_expr_shallow(child)
+
+
+def definitions_in(stmt: ast.stmt) -> Iterator[Tuple[str, Optional[ast.expr]]]:
+    """The (name, defining value) pairs one statement creates."""
+    handler = getattr(stmt, "_repro_handler", None)
+    if handler is not None and handler.name:
+        yield handler.name, None
+        return
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for name in _target_names(target):
+                yield name, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        for name in _target_names(stmt.target):
+            yield name, stmt.value
+    elif isinstance(stmt, ast.AugAssign):
+        for name in _target_names(stmt.target):
+            yield name, stmt.value
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            yield name, stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    yield name, item.context_expr
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = (alias.asname or alias.name).split(".")[0]
+            yield bound, None
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name, None
+    # NumPy in-place definitions: any call carrying out=<name> rebinds
+    # that name's contents — model it as a fresh definition whose value
+    # is the whole call, so taint flows from the call's inputs.
+    if not _is_opaque(stmt):
+        for sub in _walk_expr_iter(stmt):
+            if isinstance(sub, ast.Call):
+                for kw in sub.keywords:
+                    if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                        yield kw.value.id, sub
+
+
+def _walk_expr_iter(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """All expression nodes of one statement, excluding nested statement bodies."""
+    compound_bodies = (
+        ast.If,
+        ast.While,
+        ast.For,
+        ast.AsyncFor,
+        ast.With,
+        ast.AsyncWith,
+        ast.Try,
+        ast.Match,
+    )
+    if isinstance(stmt, compound_bodies):
+        # Only the header expressions belong to this node; body statements
+        # have their own CFG nodes.
+        headers: List[ast.AST] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            headers = [stmt.test]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            headers = [stmt.target, stmt.iter]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            headers = [item.context_expr for item in stmt.items]
+        elif isinstance(stmt, ast.Match):
+            headers = [stmt.subject]
+        for header in headers:
+            yield from _walk_expr_shallow(header)
+        return
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield from _walk_expr_shallow(child)
+
+
+def expressions_of(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The expression nodes belonging to one CFG statement.
+
+    For compound statements only the header expressions are yielded —
+    body statements have their own CFG nodes and are visited separately,
+    so a sink rule walking every statement sees each expression exactly
+    once, at the statement whose reaching-definitions apply to it.
+    """
+    return _walk_expr_iter(stmt)
+
+
+class ReachingDefinitions:
+    """Forward may-analysis: which definitions reach each statement."""
+
+    def __init__(self, fn: FunctionNode) -> None:
+        self.fn = fn
+        self.cfg = build_cfg(fn)
+        self.definitions: List[Definition] = []
+        self._defs_by_node: Dict[int, List[int]] = {}
+        self._defs_by_name: Dict[str, List[int]] = {}
+
+        # Parameters define their names at the entry node.
+        args = fn.args
+        params = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+        for param in params:
+            self._add_def(self.cfg.entry, param.arg, None, None)
+
+        for node in self.cfg.nodes:
+            if node.stmt is None or _is_opaque(node.stmt):
+                if node.stmt is not None:
+                    # a nested def/class still binds its own name
+                    for name, value in definitions_in(node.stmt):
+                        self._add_def(node.index, name, node.stmt, value)
+                continue
+            for name, value in definitions_in(node.stmt):
+                self._add_def(node.index, name, node.stmt, value)
+
+        self._in_sets = self._solve()
+
+    def _add_def(
+        self,
+        node_index: int,
+        name: str,
+        stmt: Optional[ast.stmt],
+        value: Optional[ast.expr],
+    ) -> None:
+        definition = Definition(
+            index=len(self.definitions), name=name, stmt=stmt, value=value
+        )
+        self.definitions.append(definition)
+        self._defs_by_node.setdefault(node_index, []).append(definition.index)
+        self._defs_by_name.setdefault(name, []).append(definition.index)
+
+    def _solve(self) -> Dict[int, FrozenSet[int]]:
+        gen: Dict[int, Set[int]] = {}
+        kill: Dict[int, Set[int]] = {}
+        for node in self.cfg.nodes:
+            local = self._defs_by_node.get(node.index, [])
+            gen[node.index] = set(local)
+            killed: Set[int] = set()
+            for def_index in local:
+                name = self.definitions[def_index].name
+                killed.update(self._defs_by_name[name])
+            kill[node.index] = killed - gen[node.index]
+
+        preds = self.cfg.predecessors()
+        in_sets: Dict[int, Set[int]] = {n.index: set() for n in self.cfg.nodes}
+        out_sets: Dict[int, Set[int]] = {
+            n.index: set(gen[n.index]) for n in self.cfg.nodes
+        }
+        work = [node.index for node in self.cfg.nodes]
+        while work:
+            index = work.pop()
+            new_in: Set[int] = set()
+            for pred in preds[index]:
+                new_in.update(out_sets[pred])
+            new_out = gen[index] | (new_in - kill[index])
+            in_sets[index] = new_in
+            if new_out != out_sets[index]:
+                out_sets[index] = new_out
+                work.extend(self.cfg.nodes[index].succs)
+        return {index: frozenset(values) for index, values in in_sets.items()}
+
+    # -- queries -------------------------------------------------------
+
+    def reaching(self, stmt: ast.stmt, name: str) -> List[Definition]:
+        """Definitions of ``name`` that may reach ``stmt``."""
+        node_index = self.cfg.node_for(stmt)
+        if node_index is None:
+            return []
+        return [
+            self.definitions[def_index]
+            for def_index in sorted(self._in_sets[node_index])
+            if self.definitions[def_index].name == name
+        ]
+
+    def statements(self) -> Iterator[ast.stmt]:
+        """Every statement with a CFG node, in node order."""
+        for node in self.cfg.nodes:
+            if node.stmt is not None:
+                yield node.stmt
+
+
+class TaintAnalysis:
+    """Taint fixpoint over reaching definitions.
+
+    ``is_producer(expr)`` marks expressions that introduce taint.
+    ``sanitizer_calls`` are dotted callable names whose results never
+    carry a tainted *value* (index- and predicate-producing operations:
+    ``np.argmax``, ``np.nonzero``, ``len`` ...); ``sanitizer_attrs``
+    are attribute accesses with the same property (``.size``,
+    ``.shape``).  Everything else propagates: a call's result is
+    tainted when any argument is, a subscript is tainted when its base
+    is, and a name is tainted when any reaching definition bound it to
+    a tainted expression.
+    """
+
+    def __init__(
+        self,
+        fn: FunctionNode,
+        is_producer: Callable[[ast.AST], bool],
+        sanitizer_calls: FrozenSet[str] = frozenset(),
+        sanitizer_attrs: FrozenSet[str] = frozenset(),
+    ) -> None:
+        self.reaching_defs = ReachingDefinitions(fn)
+        self._is_producer = is_producer
+        self._sanitizer_calls = sanitizer_calls
+        self._sanitizer_attrs = sanitizer_attrs
+        self._tainted_defs: Set[int] = set()
+        self._solve()
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for definition in self.reaching_defs.definitions:
+                if definition.index in self._tainted_defs:
+                    continue
+                if definition.value is None or definition.stmt is None:
+                    continue
+                if self._expr_tainted(definition.value, definition.stmt):
+                    self._tainted_defs.add(definition.index)
+                    changed = True
+
+    def _name_tainted(self, name: str, at: ast.stmt) -> bool:
+        return any(
+            definition.index in self._tainted_defs
+            for definition in self.reaching_defs.reaching(at, name)
+        )
+
+    def _expr_tainted(self, expr: ast.AST, at: ast.stmt) -> bool:
+        if self._is_producer(expr):
+            return True
+        if isinstance(expr, ast.Call):
+            name = _dotted_name(expr.func)
+            if name in self._sanitizer_calls:
+                return False
+            parts = [expr.func] + list(expr.args) + [
+                kw.value for kw in expr.keywords
+            ]
+            return any(self._expr_tainted(part, at) for part in parts)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in self._sanitizer_attrs:
+                return False
+            return self._expr_tainted(expr.value, at)
+        if isinstance(expr, ast.Name):
+            return self._name_tainted(expr.id, at)
+        if isinstance(expr, ast.Lambda):
+            return False
+        for child in ast.iter_child_nodes(expr):
+            if self._expr_tainted(child, at):
+                return True
+        return False
+
+    # -- queries -------------------------------------------------------
+
+    def expr_is_tainted(self, expr: ast.AST, at: ast.stmt) -> bool:
+        """Can ``expr`` (inside statement ``at``) carry a tainted value?"""
+        return self._expr_tainted(expr, at)
+
+    def has_producers(self) -> bool:
+        """True when any definition in the function is tainted."""
+        return bool(self._tainted_defs)
+
+    def statements(self) -> Iterator[ast.stmt]:
+        return self.reaching_defs.statements()
+
+
+def _dotted_name(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def iter_statements(fn: FunctionNode) -> Iterator[ast.stmt]:
+    """All statements of ``fn``'s body, excluding nested def/class bodies."""
+
+    def walk(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in body:
+            yield stmt
+            if _is_opaque(stmt):
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if isinstance(nested, list):
+                    yield from walk(nested)
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from walk(handler.body)
+            for case in getattr(stmt, "cases", []) or []:
+                yield from walk(case.body)
+
+    yield from walk(fn.body)

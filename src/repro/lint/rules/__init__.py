@@ -1,4 +1,4 @@
-"""Rule registry: one module per invariant, R001–R009."""
+"""Rule registry: one module per invariant, R001–R013."""
 
 from __future__ import annotations
 
@@ -14,6 +14,10 @@ from repro.lint.rules.r006_dtype import DtypeDisciplineRule
 from repro.lint.rules.r007_obs_layering import ObsLayeringRule
 from repro.lint.rules.r008_context_stats import ContextStatsRule
 from repro.lint.rules.r009_features_layering import FeaturesLayeringRule
+from repro.lint.rules.r010_obs_registry import ObsRegistryRule
+from repro.lint.rules.r011_stale_pragma import StalePragmaRule
+from repro.lint.rules.r012_f32_escape import F32EscapeRule
+from repro.lint.rules.r013_contract_coverage import ContractCoverageRule
 
 __all__ = ["all_rules"]
 
@@ -30,4 +34,8 @@ def all_rules() -> List[Rule]:
         ObsLayeringRule(),
         ContextStatsRule(),
         FeaturesLayeringRule(),
+        ObsRegistryRule(),
+        StalePragmaRule(),
+        F32EscapeRule(),
+        ContractCoverageRule(),
     ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.lint.base import (
     Diagnostic,
@@ -25,6 +25,9 @@ from repro.lint.base import (
     is_guard_call,
     name_tokens,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 _SQRT_CALLS = frozenset({"np.sqrt", "numpy.sqrt", "math.sqrt"})
 _RISKY_SUBSTR = re.compile(r"corr|dist|var", re.IGNORECASE)
@@ -51,7 +54,9 @@ class SqrtClipRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return ctx.is_kernel
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         for scope in ctx.scopes:
             for node in scope.walk():
                 arg = None

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.lint.base import (
     Diagnostic,
@@ -22,6 +22,9 @@ from repro.lint.base import (
     contains_guard_call,
     name_tokens,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 _SIGMA_LIKE = re.compile(r"sig|std|denom", re.IGNORECASE)
 
@@ -38,7 +41,9 @@ class ErrstateDivRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return ctx.is_kernel
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         for scope in ctx.scopes:
             for node in scope.walk():
                 if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):

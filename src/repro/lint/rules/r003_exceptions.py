@@ -12,9 +12,12 @@ undefined behavior.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 _BARE_EXCEPTIONS = frozenset({"ValueError", "TypeError"})
 
@@ -28,7 +31,9 @@ class ExceptionHierarchyRule(Rule):
         "and asserts disappear under -O, so invalid input slips into kernels"
     )
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Raise) and node.exc is not None:
                 exc = node.exc

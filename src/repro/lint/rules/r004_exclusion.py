@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.lint.base import Diagnostic, FileContext, Rule, name_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 _LENGTH_LIKE = re.compile(
     r"^(length|len|l|m|window|win|wlen|sub_?len(gth)?|seq_?len)$", re.IGNORECASE
@@ -32,7 +35,9 @@ class ExclusionZoneRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return ctx.is_kernel and not ctx.is_exclusion_module
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.BinOp):
                 continue

@@ -13,9 +13,12 @@ count.  Two code shapes silently break that promise:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 _SUBMIT_METHODS = frozenset(
     {"submit", "map", "imap", "imap_unordered", "starmap", "apply_async"}
@@ -44,7 +47,9 @@ class WorkerDeterminismRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return ctx.is_worker_module
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         nested_funcs = self._nested_function_names(ctx)
         for scope in ctx.scopes:
             set_vars: Set[str] = set()

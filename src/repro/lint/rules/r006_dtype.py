@@ -11,9 +11,12 @@ kernel module.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 #: buffer constructors that must spell out their dtype.  The *_like and
 #: asarray families inherit a dtype from an existing array and are exempt.
@@ -53,7 +56,9 @@ class DtypeDisciplineRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return ctx.is_kernel
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue

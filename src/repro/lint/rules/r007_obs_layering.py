@@ -12,9 +12,12 @@ failure mode Python has.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
-from repro.lint.base import Diagnostic, FileContext, Rule
+from repro.lint.base import Diagnostic, FileContext, Rule, imported_names
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 #: module stems that form the import-graph foundation.
 _FOUNDATION_STEMS = frozenset({"types", "exceptions"})
@@ -30,24 +33,6 @@ def _is_obs_module(ctx: FileContext) -> bool:
 
 def _is_foundation_module(ctx: FileContext) -> bool:
     return ctx.module_parts[-1] in _FOUNDATION_STEMS
-
-
-def _imported_names(tree: ast.AST) -> Iterator[Tuple[ast.stmt, str]]:
-    """Every absolute dotted module name a file imports.
-
-    ``from repro import obs`` is expanded to ``repro.obs`` (and likewise
-    for any ``from <pkg> import <sub>``), so aliasing cannot hide a
-    layering violation.
-    """
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield node, alias.name
-        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
-            # yield only the expanded names: ``from repro import obs`` is
-            # an import of repro.obs, not of the whole repro package.
-            for alias in node.names:
-                yield node, f"{node.module}.{alias.name}"
 
 
 def _matches(name: str, prefixes: Tuple[str, ...]) -> bool:
@@ -69,10 +54,12 @@ class ObsLayeringRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return _is_obs_module(ctx) or _is_foundation_module(ctx)
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         obs_module = _is_obs_module(ctx)
         flagged: List[int] = []
-        for node, name in _imported_names(ctx.tree):
+        for node, name in imported_names(ctx.tree):
             if node.lineno in flagged:
                 continue  # one diagnostic per import statement
             if obs_module:

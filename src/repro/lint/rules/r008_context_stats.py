@@ -23,9 +23,12 @@ endorsed idiom and are not flagged.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
 from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 #: packages allowed to use the raw primitives (they implement them).
 _ALLOWED_PARTS = frozenset({"distance", "kernels"})
@@ -84,7 +87,9 @@ class ContextStatsRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return not any(part in _ALLOWED_PARTS for part in ctx.module_parts)
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         numpy_aliases, stats_modules, stats_names, fft_imports = _collect_bindings(
             ctx.tree
         )

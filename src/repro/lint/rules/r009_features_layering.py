@@ -21,9 +21,12 @@ is aggregation, not composition.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
-from repro.lint.base import Diagnostic, FileContext, Rule
+from repro.lint.base import Diagnostic, FileContext, Rule, imported_names
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
 
 #: dotted module prefix -> workload family.  Longest prefix wins, so
 #: ``repro.core.discords`` maps to discords while an unlisted
@@ -57,23 +60,6 @@ def _is_exempt(ctx: FileContext) -> bool:
 def _is_features_module(ctx: FileContext) -> bool:
     parts = ctx.module_parts
     return "features" in parts[:-1] or parts[-1] == "features"
-
-
-def _imported_names(tree: ast.AST) -> Iterator[Tuple[ast.stmt, str]]:
-    """Every absolute dotted name a file imports, aliasing expanded.
-
-    ``from repro.core import valmod`` yields ``repro.core.valmod`` (and
-    ``from repro.core import Valmod`` yields ``repro.core.Valmod``,
-    which still prefix-matches ``repro.core``), so renaming cannot hide
-    a layering violation.
-    """
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield node, alias.name
-        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
-            for alias in node.names:
-                yield node, f"{node.module}.{alias.name}"
 
 
 def _workload_group(name: str) -> Optional[str]:
@@ -111,12 +97,14 @@ class FeaturesLayeringRule(Rule):
     def applies(self, ctx: FileContext) -> bool:
         return True
 
-    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
         features_module = _is_features_module(ctx)
         exempt = _is_exempt(ctx)
         first_group: Optional[str] = None
         flagged: set = set()
-        for node, name in _imported_names(ctx.tree):
+        for node, name in imported_names(ctx.tree):
             if node.lineno in flagged:
                 continue  # one diagnostic per import statement
             if not features_module and _is_store_import(name):

@@ -1,0 +1,192 @@
+"""R012: no float32 value escapes a kernel without a float64 verify.
+
+The float32 fast path in :mod:`repro.kernels` is a *selection* device:
+demoted scores may pick candidate columns, but every value that leaves
+the kernel — the returned profile, or a comparison against float64
+state — must be recomputed in float64 first (the paper's exactness
+guarantee rides on this).  Syntactic matching cannot check it: the same
+buffer name is legitimately rebound from a float32 scratch value to a
+float64 recompute, so the rule needs provenance, not spelling.
+
+This rule runs the :mod:`repro.lint.dataflow` taint analysis per
+function.  Taint *producers* are expressions that mention a float32
+dtype (``x.astype(np.float32)``, ``np.empty(..., dtype=np.float32)``,
+``np.float32(...)``).  *Sanitizers* are index- and predicate-producing
+operations whose results carry positions or truth values, never the
+demoted magnitudes (``np.argmax``, ``np.nonzero``, ``len``, ``int``,
+``np.isfinite``, and the ``.size``/``.shape``/``.ndim``/``.dtype``
+attributes).  ``float()`` is deliberately *not* a sanitizer: widening a
+wrong value yields a wide wrong value.  Three sinks are checked:
+
+* a ``return`` whose value may be tainted;
+* a store of a tainted value into a subscript of an untainted array
+  (smuggling float32 cells into the float64 output profile);
+* a comparison mixing a tainted operand with an untainted one (ranking
+  float32 scores against float64 state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+from repro.lint.dataflow import TaintAnalysis, expressions_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
+
+#: calls whose results are indices, counts, or predicates — positions of
+#: demoted values, never the values themselves.
+_SANITIZER_CALLS = frozenset(
+    {
+        "np.argmax",
+        "np.argmin",
+        "np.argsort",
+        "np.nonzero",
+        "np.flatnonzero",
+        "np.count_nonzero",
+        "np.isfinite",
+        "np.isnan",
+        "np.isinf",
+        "numpy.argmax",
+        "numpy.argmin",
+        "numpy.argsort",
+        "numpy.nonzero",
+        "numpy.flatnonzero",
+        "numpy.count_nonzero",
+        "numpy.isfinite",
+        "numpy.isnan",
+        "numpy.isinf",
+        "len",
+        "int",
+        "bool",
+        "range",
+    }
+)
+
+#: attribute reads that probe metadata, not the demoted contents.
+_SANITIZER_ATTRS = frozenset({"size", "shape", "ndim", "dtype", "itemsize"})
+
+
+def _is_f32_ref(node: ast.AST) -> bool:
+    """An expression naming the float32 dtype itself."""
+    if isinstance(node, ast.Attribute) and node.attr == "float32":
+        return True
+    if isinstance(node, ast.Name) and node.id == "float32":
+        return True
+    if isinstance(node, ast.Constant) and node.value == "float32":
+        return True
+    return False
+
+
+def _is_producer(expr: ast.AST) -> bool:
+    """Calls that create or demote to a float32 value."""
+    if not isinstance(expr, ast.Call):
+        return False
+    if call_name(expr) in ("np.float32", "numpy.float32"):
+        return True
+    parts: List[ast.expr] = list(expr.args) + [
+        kw.value for kw in expr.keywords
+    ]
+    return any(_is_f32_ref(part) for part in parts)
+
+
+def _mentions_f32(fn: ast.FunctionDef) -> bool:
+    return any(_is_f32_ref(node) for node in ast.walk(fn))
+
+
+class F32EscapeRule(Rule):
+    rule_id = "R012"
+    name = "f32-escape"
+    summary = (
+        "float32 values in repro.kernels never reach a return or a "
+        "float64 comparison without a float64 recompute"
+    )
+    rationale = (
+        "the float32 path may only select candidates; the exactness "
+        "guarantee requires every escaping value be recomputed in float64, "
+        "and dataflow (not spelling) decides whether a rebound buffer "
+        "still carries demoted contents"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return "kernels" in ctx.module_parts[:-1]
+
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and _mentions_f32(node):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef
+    ) -> Iterator[Diagnostic]:
+        taint = TaintAnalysis(
+            fn,
+            is_producer=_is_producer,
+            sanitizer_calls=_SANITIZER_CALLS,
+            sanitizer_attrs=_SANITIZER_ATTRS,
+        )
+        if not taint.has_producers():
+            return
+        for stmt in taint.statements():
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if taint.expr_is_tainted(stmt.value, stmt):
+                    yield self.diag(
+                        ctx,
+                        stmt,
+                        f"{fn.name} may return a float32-derived value; "
+                        "recompute the escaping value in float64 before "
+                        "returning",
+                    )
+                continue
+            if isinstance(stmt, ast.Assign):
+                yield from self._check_store(ctx, fn, taint, stmt)
+            for expr in expressions_of(stmt):
+                if isinstance(expr, ast.Compare):
+                    yield from self._check_compare(ctx, fn, taint, stmt, expr)
+
+    def _check_store(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef,
+        taint: TaintAnalysis,
+        stmt: ast.Assign,
+    ) -> Iterator[Diagnostic]:
+        for target in stmt.targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            base = target.value
+            if not isinstance(base, ast.Name):
+                continue
+            if taint.expr_is_tainted(base, stmt):
+                continue  # a float32 scratch buffer may hold float32
+            if taint.expr_is_tainted(stmt.value, stmt):
+                yield self.diag(
+                    ctx,
+                    stmt,
+                    f"{fn.name} stores a float32-derived value into "
+                    f"{base.id}[...]; recompute it in float64 before "
+                    "writing to the output",
+                )
+
+    def _check_compare(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef,
+        taint: TaintAnalysis,
+        stmt: ast.stmt,
+        expr: ast.Compare,
+    ) -> Iterator[Diagnostic]:
+        operands = [expr.left] + list(expr.comparators)
+        flags = [taint.expr_is_tainted(op, stmt) for op in operands]
+        if any(flags) and not all(flags):
+            yield self.diag(
+                ctx,
+                expr,
+                f"{fn.name} compares a float32-derived value against "
+                "float64 state; demoted scores may only be compared "
+                "among themselves — verify in float64 first",
+            )

@@ -1,0 +1,103 @@
+"""R013: public entry points carry require/ensure contracts.
+
+:mod:`repro.lint.contracts` gives every public numerical entry point a
+zero-cost way to declare parameter and result contracts (validated only
+under ``REPRO_CONTRACTS=1``).  Coverage decays unless enforced: a new
+public function ships without contracts, its callers learn to pass junk,
+and the eventual failure surfaces three layers deep in a kernel instead
+of at the boundary.
+
+This rule checks every module of the entry packages (``core``,
+``distance``, ``matrixprofile``, ``kernels``, ``features``): each
+top-level function listed in the module's literal ``__all__`` must carry
+at least one ``@require``/``@ensure`` decorator (dotted forms like
+``contracts.require`` count).  Classes, constants, and re-exports in
+``__all__`` are exempt — the contract machinery wraps callables.  A
+function whose boundary genuinely cannot be predicated (pure dispatch,
+trivial accessors) opts out with a ``repro-lint: ignore[R013]`` pragma
+comment on its signature, which keeps the exemption visible and
+auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.lint.base import Diagnostic, FileContext, Rule, call_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectContext
+
+#: packages whose public surface is the repro API boundary.
+_ENTRY_DIRS = frozenset({"core", "distance", "matrixprofile", "kernels", "features"})
+
+#: decorator stems that count as contract declarations.
+_CONTRACT_DECORATORS = frozenset({"require", "ensure"})
+
+
+def _literal_all(tree: ast.Module) -> Optional[List[str]]:
+    """The module's literal ``__all__``, or None when absent or dynamic."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            try:
+                value = ast.literal_eval(stmt.value)
+            except ValueError:
+                return None
+            if isinstance(value, (list, tuple)) and all(
+                isinstance(item, str) for item in value
+            ):
+                return list(value)
+            return None
+    return None
+
+
+def _is_contract_decorator(dec: ast.expr) -> bool:
+    name = call_name(dec)
+    if not name and isinstance(dec, ast.Name):
+        name = dec.id
+    stem = name.rsplit(".", 1)[-1]
+    return stem in _CONTRACT_DECORATORS
+
+
+class ContractCoverageRule(Rule):
+    rule_id = "R013"
+    name = "contract-coverage"
+    summary = (
+        "every public __all__ function in the entry packages declares "
+        "require/ensure contracts (or an explicit pragma opt-out)"
+    )
+    rationale = (
+        "uncontracted public boundaries let junk inputs travel three "
+        "layers deep before failing inside a kernel; the zero-cost "
+        "decorators move the failure to the call site, but only if "
+        "coverage is enforced"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return any(part in _ENTRY_DIRS for part in ctx.module_parts[:-1])
+
+    def check(
+        self, ctx: FileContext, project: Optional["ProjectContext"] = None
+    ) -> Iterator[Diagnostic]:
+        exported = _literal_all(ctx.tree)
+        if not exported:
+            return
+        public = {name for name in exported if not name.startswith("_")}
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            if stmt.name not in public:
+                continue
+            if any(_is_contract_decorator(dec) for dec in stmt.decorator_list):
+                continue
+            yield self.diag(
+                ctx,
+                stmt,
+                f"public function {stmt.name} is exported via __all__ but "
+                "declares no require/ensure contract; add one (see "
+                "repro.lint.contracts) or opt out with a "
+                "'repro-lint: ignore[R013]' pragma",
+            )

@@ -1,15 +1,35 @@
-"""File discovery and rule dispatch for :mod:`repro.lint`."""
+"""File discovery, project assembly, and phased rule dispatch.
+
+One lint invocation is one *project*: every input file is parsed once
+into a :class:`~repro.lint.base.FileContext`, the set is wrapped in a
+:class:`~repro.lint.graph.ProjectContext`, and rules run in three
+phases:
+
+1. ``file`` rules over each file (with the project available for
+   cross-file lookups), then ``project`` rules once per run;
+2. central pragma filtering — the runner, not the rules, applies
+   ``# repro-lint: ignore[...]`` suppressions, recording per pragma
+   which rule ids actually consumed a diagnostic;
+3. ``post`` rules over that suppression accounting (R011 stale-pragma),
+   whose own diagnostics are pragma-filtered in turn.
+
+Unparseable inputs become diagnostics rather than crashes: ``E000`` for
+syntax errors, ``E001`` for unreadable files (permissions, encoding).
+Output order is fully deterministic: (path, line, col, rule id,
+message), independent of input order.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.lint.base import Diagnostic, FileContext, Rule, discover_files, parse_file
+from repro.lint.graph import ProjectContext
 from repro.lint.rules import all_rules
 
-__all__ = ["lint_paths", "lint_source", "select_rules"]
+__all__ = ["lint_paths", "lint_project", "lint_source", "select_rules"]
 
 
 def select_rules(
@@ -18,7 +38,9 @@ def select_rules(
     """Resolve the active rule set, optionally filtered by rule id."""
     active = list(rules) if rules is not None else all_rules()
     if select:
-        wanted = {rule_id.strip().upper() for rule_id in select}
+        wanted = {rule_id.strip().upper() for rule_id in select} - {""}
+        if not wanted:
+            raise InvalidParameterError("empty rule selection")
         unknown = wanted - {rule.rule_id for rule in active}
         if unknown:
             raise InvalidParameterError(
@@ -28,6 +50,45 @@ def select_rules(
     return active
 
 
+def _sort_key(diag: Diagnostic) -> Tuple[str, int, int, str, str]:
+    return (diag.path, diag.line, diag.col, diag.rule_id, diag.message)
+
+
+def _filter_suppressed(
+    diagnostics: Iterable[Diagnostic], project: ProjectContext
+) -> List[Diagnostic]:
+    """Drop pragma-suppressed diagnostics, marking the pragmas as used."""
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        ctx = project.by_display.get(diag.path)
+        if ctx is not None and ctx.consume(diag.line, diag.rule_id):
+            continue
+        kept.append(diag)
+    return kept
+
+
+def lint_project(
+    project: ProjectContext, active: Sequence[Rule]
+) -> List[Diagnostic]:
+    """Run the three rule phases over an assembled project."""
+    project.active_rule_ids = {rule.rule_id for rule in active}
+    project.known_rule_ids = {rule.rule_id for rule in all_rules()}
+    raw: List[Diagnostic] = []
+    for rule in active:
+        if rule.phase == "file":
+            for ctx in project.files:
+                raw.extend(rule.run(ctx, project))
+        elif rule.phase == "project":
+            raw.extend(rule.check_project(project))
+    diagnostics = _filter_suppressed(raw, project)
+    post: List[Diagnostic] = []
+    for rule in active:
+        if rule.phase == "post":
+            post.extend(rule.check_project(project))
+    diagnostics.extend(_filter_suppressed(post, project))
+    return sorted(diagnostics, key=_sort_key)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -35,10 +96,7 @@ def lint_source(
 ) -> List[Diagnostic]:
     """Lint one source string (test and tooling entry point)."""
     ctx = FileContext(Path(path), source)
-    diagnostics: List[Diagnostic] = []
-    for rule in select_rules(rules):
-        diagnostics.extend(rule.run(ctx))
-    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.rule_id))
+    return lint_project(ProjectContext([ctx]), select_rules(rules))
 
 
 def lint_paths(
@@ -48,10 +106,11 @@ def lint_paths(
 ) -> List[Diagnostic]:
     """Lint files and directories; returns diagnostics in stable order."""
     active = select_rules(rules, select)
+    contexts: List[FileContext] = []
     diagnostics: List[Diagnostic] = []
     for path in discover_files([Path(p) for p in paths]):
         try:
-            ctx = parse_file(path)
+            contexts.append(parse_file(path))
         except SyntaxError as err:
             diagnostics.append(
                 Diagnostic(
@@ -62,7 +121,15 @@ def lint_paths(
                     message=f"syntax error: {err.msg}",
                 )
             )
-            continue
-        for rule in active:
-            diagnostics.extend(rule.run(ctx))
-    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.rule_id))
+        except (OSError, UnicodeDecodeError) as err:
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=0,
+                    col=0,
+                    rule_id="E001",
+                    message=f"unreadable file: {err}",
+                )
+            )
+    diagnostics.extend(lint_project(ProjectContext(contexts), active))
+    return sorted(diagnostics, key=_sort_key)

@@ -23,10 +23,13 @@ from repro.exceptions import InvalidParameterError
 from repro.kernels.context import ensure_context
 from repro.matrixprofile.index import MatrixProfile
 from repro.types import MotifPair
+from repro.lint.contracts import ensure, no_nan_profile, positive_int, require, series_like
 
 __all__ = ["stomp_ab_join", "ab_join_motif"]
 
 
+@require(series_a=series_like(), series_b=series_like(), length=positive_int())
+@ensure(no_nan_profile)
 def stomp_ab_join(
     series_a: np.ndarray, series_b: np.ndarray, length: int
 ) -> MatrixProfile:
@@ -68,6 +71,7 @@ def stomp_ab_join(
     return MatrixProfile(profile=profile, index=index, length=length)
 
 
+@require(series_a=series_like(), series_b=series_like(), length=positive_int())
 def ab_join_motif(
     series_a: np.ndarray, series_b: np.ndarray, length: int
 ) -> Tuple[MotifPair, MatrixProfile]:

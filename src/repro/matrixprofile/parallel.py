@@ -62,6 +62,7 @@ from repro.kernels.context import SeriesContext
 from repro.lint.contracts import (
     ensure,
     instance_of,
+    int_at_least,
     no_nan_profile,
     optional,
     positive_int,
@@ -81,6 +82,7 @@ __all__ = [
 ]
 
 
+@require(n_jobs=optional(instance_of(int)))
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     """Normalize an ``n_jobs`` request to a positive worker count.
 
@@ -96,6 +98,7 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
+@require(n_subs=positive_int(), zone=int_at_least(0), n_chunks=positive_int())
 def split_diagonals(
     n_subs: int, zone: int, n_chunks: int
 ) -> List[Tuple[int, int]]:
@@ -178,6 +181,7 @@ def _both_side_distances(
     return d_ik, d_jk
 
 
+@require(length=positive_int(), d_lo=int_at_least(0), d_hi=int_at_least(0))
 def diagonal_chunk_min_profile(
     t: FloatArray,
     length: int,
@@ -274,7 +278,7 @@ def diagonal_chunk_min_profile(
     return profile, index
 
 
-def merge_profiles(
+def merge_profiles(  # repro-lint: ignore[R013] - pairwise reduction of worker outputs
     profiles: Sequence[FloatArray], indices: Sequence[IntArray]
 ) -> Tuple[FloatArray, IntArray]:
     """Reduce per-chunk min-profiles into one profile.

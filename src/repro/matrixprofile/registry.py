@@ -80,6 +80,7 @@ _REGISTRY: Dict[str, EngineSpec] = {}
 _N_JOBS_WARNED: Set[str] = set()
 
 
+@require(name=instance_of(str))
 def register_engine(
     name: str,
     compute: ComputeFn,
@@ -101,11 +102,12 @@ def register_engine(
     return spec
 
 
-def engine_names() -> Tuple[str, ...]:
+def engine_names() -> Tuple[str, ...]:  # repro-lint: ignore[R013] - zero-argument accessor
     """Registered engine names, in registration order."""
     return tuple(_REGISTRY)
 
 
+@require(name=instance_of(str))
 def get_engine(name: str) -> EngineSpec:
     """Look up an engine; raises with the valid choices on a miss."""
     spec = _REGISTRY.get(name)

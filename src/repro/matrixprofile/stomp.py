@@ -40,7 +40,14 @@ from repro.distance.sliding import sliding_dot_product, validate_subsequence_len
 from repro.distance.znorm import CONSTANT_EPS
 from repro.exceptions import InvalidParameterError
 from repro.kernels.context import SeriesContext
-from repro.lint.contracts import ensure, no_nan_profile, positive_int, require, series_like
+from repro.lint.contracts import (
+    ensure,
+    int_at_least,
+    no_nan_profile,
+    positive_int,
+    require,
+    series_like,
+)
 from repro.matrixprofile.exclusion import contributing_cells, exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 
@@ -57,6 +64,7 @@ __all__ = [
 QT_DRIFT_TOL = 1e-9
 
 
+@require(series=series_like(), start=int_at_least(0), length=positive_int())
 def exact_qt_row(series: FloatArray, start: int, length: int) -> FloatArray:
     """Dot products of window ``start`` against every window, summed exactly.
 
@@ -67,6 +75,7 @@ def exact_qt_row(series: FloatArray, start: int, length: int) -> FloatArray:
     return np.correlate(series, series[start : start + length], mode="valid")
 
 
+@require(series=series_like(), length=positive_int())
 def stomp_reanchor_rows(
     series: FloatArray, length: int, sigma: FloatArray
 ) -> IntArray:
@@ -112,6 +121,7 @@ def stomp_reanchor_rows(
     return np.asarray(anchors, dtype=np.int64)
 
 
+@require(series=series_like(), length=positive_int())
 def iterate_stomp_rows(
     series: FloatArray,
     length: int,

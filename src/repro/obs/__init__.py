@@ -12,8 +12,13 @@ standard library and :mod:`repro.exceptions`, so every other layer can
 ``from repro import obs`` without risking an import cycle; conversely
 the foundation modules ``repro.types`` / ``repro.exceptions`` must
 never import it.
+
+Every name recorded through this package is declared in
+:mod:`repro.obs.registry`, the single source of truth the derived
+metrics, docs, and lint rule R010 all consume.
 """
 
+from repro.obs import registry
 from repro.obs.report import (
     build_report,
     derived_metrics,
@@ -52,6 +57,7 @@ __all__ = [
     "gauge",
     "get_tracer",
     "merge",
+    "registry",
     "report_from_json",
     "report_to_json",
     "reset",

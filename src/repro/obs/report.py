@@ -17,6 +17,7 @@ import re
 from typing import Any, Dict, Mapping, Optional
 
 from repro.exceptions import InvalidParameterError
+from repro.obs import registry
 from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = [
@@ -28,6 +29,19 @@ __all__ = [
 ]
 
 _PER_LENGTH = re.compile(r"^submp\.profiles\.total\.l(\d+)$")
+
+# Counter names the derived metrics read, routed through the central
+# registry (repro.obs.registry) so a typo here fails at import time
+# instead of silently yielding an always-absent metric.
+_SUBMP_TOTAL = registry.declared("submp.profiles.total")
+_SUBMP_VALID = registry.declared("submp.profiles.valid")
+_SUBMP_VALID_L = registry.declared("submp.profiles.valid.l{length}")
+_DISCORDS_SWEPT = registry.declared("discords.lengths.swept")
+_DISCORDS_PRUNED = registry.declared("discords.profiles.pruned")
+_LISTDP_LOOKUPS = registry.declared("listdp.lookups")
+_LISTDP_HITS = registry.declared("listdp.hits")
+_FEATURES_HITS = registry.declared("features.cache.hits")
+_FEATURES_MISSES = registry.declared("features.cache.misses")
 
 
 def derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
@@ -44,29 +58,27 @@ def derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
     :mod:`repro.core.discords_variable`).
     """
     out: Dict[str, float] = {}
-    total = counters.get("submp.profiles.total", 0)
+    total = counters.get(_SUBMP_TOTAL, 0)
     if total:
-        out["pruning_power"] = counters.get("submp.profiles.valid", 0) / total
+        out["pruning_power"] = counters.get(_SUBMP_VALID, 0) / total
     for key, value in counters.items():
         match = _PER_LENGTH.match(key)
         if match and value:
             length = match.group(1)
-            valid = counters.get(f"submp.profiles.valid.l{length}", 0)
+            valid = counters.get(_SUBMP_VALID_L.format(length=length), 0)
             out[f"pruning_power.l{length}"] = valid / value
-    swept = counters.get("discords.lengths.swept", 0)
+    swept = counters.get(_DISCORDS_SWEPT, 0)
     if swept:
-        out["discords_pruning_power"] = (
-            counters.get("discords.profiles.pruned", 0) / swept
-        )
-    lookups = counters.get("listdp.lookups", 0)
+        out["discords_pruning_power"] = counters.get(_DISCORDS_PRUNED, 0) / swept
+    lookups = counters.get(_LISTDP_LOOKUPS, 0)
     if lookups:
-        out["listdp_hit_rate"] = counters.get("listdp.hits", 0) / lookups
-    feature_queries = counters.get("features.cache.hits", 0) + counters.get(
-        "features.cache.misses", 0
+        out["listdp_hit_rate"] = counters.get(_LISTDP_HITS, 0) / lookups
+    feature_queries = counters.get(_FEATURES_HITS, 0) + counters.get(
+        _FEATURES_MISSES, 0
     )
     if feature_queries:
         out["features_cache_hit_rate"] = (
-            counters.get("features.cache.hits", 0) / feature_queries
+            counters.get(_FEATURES_HITS, 0) / feature_queries
         )
     return out
 

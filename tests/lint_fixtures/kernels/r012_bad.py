@@ -1,0 +1,21 @@
+"""Bad: float32 values escape the kernel without a float64 verify."""
+
+import numpy as np
+
+
+def return_escape(series):
+    scores = series.astype(np.float32)
+    return scores  # demoted buffer returned as-is
+
+
+def store_escape(series, profile):
+    scores = series.astype(np.float32)
+    profile[0] = scores[0]  # demoted cell smuggled into the f64 output
+    return profile
+
+
+def compare_escape(series, best):
+    scores = series.astype(np.float32)
+    if scores[0] > best:  # demoted score ranked against f64 state
+        return float(best)
+    return float(best)

@@ -1,0 +1,25 @@
+"""Good: float32 selects candidates, float64 verifies every escape."""
+
+import numpy as np
+
+
+def verified_selection(series, c1):
+    buf = series * c1
+    buf32 = buf.astype(np.float32)
+    j = int(np.argmax(buf32))  # index of the demoted winner
+    return float(buf[j])  # value re-read from the float64 buffer
+
+
+def rebound_buffer(series):
+    x = series.astype(np.float32)
+    order = np.argsort(x)
+    x = series[order] * 1.0  # rebinding kills the float32 definition
+    return x
+
+
+def scratch_store(series):
+    buf32 = np.empty(series.size, dtype=np.float32)
+    np.multiply(series, 2.0, out=buf32)
+    buf32[0] = np.float32(0.0)  # float32 scratch may hold float32
+    j = int(np.argmax(buf32))
+    return float(series[j])

@@ -1,0 +1,7 @@
+"""Bad: a public __all__ function with no contract and no opt-out."""
+
+__all__ = ["uncontracted_kernel"]
+
+
+def uncontracted_kernel(series, length):
+    return series[:length]

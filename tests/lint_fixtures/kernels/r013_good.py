@@ -1,0 +1,18 @@
+"""Good: contracts or explicit opt-outs on every public function."""
+
+from repro.lint.contracts import positive_int, require
+
+__all__ = ["KernelConfig", "contracted_kernel", "dispatch_helper"]
+
+
+class KernelConfig:
+    pass
+
+
+@require(length=positive_int())
+def contracted_kernel(series, length):
+    return series[:length]
+
+
+def dispatch_helper(name):  # repro-lint: ignore[R013] - pure dispatch
+    return name

@@ -1,0 +1,5 @@
+"""Good: the pragma suppresses a real R004 diagnostic."""
+
+
+def zone(length):
+    return length // 2  # repro-lint: ignore[R004]

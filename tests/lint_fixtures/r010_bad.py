@@ -1,0 +1,15 @@
+"""Bad: emission names the registry does not declare."""
+
+
+class _Obs:
+    def add(self, name, value):
+        pass
+
+
+obs = _Obs()
+
+
+def record(n):
+    obs.add("submp.profiles.totall", n)  # typo: doubled final letter
+    name = "submp.profiles.total"
+    obs.add(name, n)  # non-literal name: statically unverifiable

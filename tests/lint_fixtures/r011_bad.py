@@ -1,0 +1,4 @@
+"""Bad: pragmas that suppress nothing."""
+
+x = 1  # repro-lint: ignore[R004]
+y = 2  # repro-lint: ignore[R999]

@@ -14,9 +14,15 @@ import sys
 import numpy as np
 import pytest
 
-from repro.exceptions import ContractViolationError, ReproError
+from repro.exceptions import (
+    ContractViolationError,
+    InvalidSeriesError,
+    ReproError,
+    SeriesContractViolationError,
+)
 from repro.lint.contracts import (
     CONTRACTS_ENV,
+    Contract,
     ensure,
     finite_array,
     float64_array,
@@ -174,6 +180,41 @@ class TestEnabledMode:
             fn(-1)
         with pytest.raises(TypeError):
             fn(-1)
+
+
+class TestErrorClasses:
+    def test_series_violation_is_an_invalid_series_error(self):
+        # The ordinary validation for a bad series raises
+        # InvalidSeriesError; the contract must be catchable the same way.
+        @require(_enabled=True, series=series_like())
+        def fn(series):
+            return series
+
+        with pytest.raises(InvalidSeriesError):
+            fn([1.0])
+        with pytest.raises(ContractViolationError):
+            fn([1.0])
+
+    def test_series_predicates_carry_the_series_error_class(self):
+        for factory in (series_like, float64_array, finite_array):
+            pred = factory()
+            assert isinstance(pred, Contract)
+            assert pred.error_class is SeriesContractViolationError
+
+    def test_optional_propagates_the_error_class(self):
+        pred = optional(series_like())
+        assert isinstance(pred, Contract)
+        assert pred.error_class is SeriesContractViolationError
+        assert pred(None) is None
+
+    def test_scalar_violation_is_not_a_series_error(self):
+        @require(_enabled=True, length=positive_int())
+        def fn(length):
+            return length
+
+        with pytest.raises(ContractViolationError) as excinfo:
+            fn(-3)
+        assert not isinstance(excinfo.value, InvalidSeriesError)
 
 
 class TestEnvironmentKnob:

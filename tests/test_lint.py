@@ -6,6 +6,8 @@ path-based module classification kicks in.  The suite also self-checks
 that the shipped source tree lints clean — the same gate CI runs.
 """
 
+import json
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -29,6 +31,10 @@ RULE_IDS = (
     "R007",
     "R008",
     "R009",
+    "R010",
+    "R011",
+    "R012",
+    "R013",
 )
 
 # rule id -> fixture path relative to FIXTURES, expected violation count
@@ -42,6 +48,10 @@ BAD_FIXTURES = {
     "R007": ("obs/r007_bad.py", 2),
     "R008": ("r008_bad.py", 2),
     "R009": ("r009_bad.py", 2),
+    "R010": ("r010_bad.py", 2),
+    "R011": ("r011_bad.py", 2),
+    "R012": ("kernels/r012_bad.py", 3),
+    "R013": ("kernels/r013_bad.py", 1),
 }
 GOOD_FIXTURES = {
     "R001": "matrixprofile/r001_good.py",
@@ -53,6 +63,10 @@ GOOD_FIXTURES = {
     "R007": "obs/r007_good.py",
     "R008": "r008_good.py",
     "R009": "r009_good.py",
+    "R010": "r010_good.py",
+    "R011": "matrixprofile/r011_good.py",
+    "R012": "kernels/r012_good.py",
+    "R013": "kernels/r013_good.py",
 }
 
 
@@ -134,8 +148,12 @@ class TestPragmas:
             "def zone(length):\n"
             "    return length // 2  # repro-lint: ignore[R001]\n"
         )
-        assert rule_ids(lint_source(source, path="matrixprofile/fake.py")) == [
-            "R004"
+        # The R004 diagnostic still fires (the pragma names a different
+        # rule), and the R001 pragma — having suppressed nothing — is
+        # itself reported stale by R011.
+        assert sorted(rule_ids(lint_source(source, path="matrixprofile/fake.py"))) == [
+            "R004",
+            "R011",
         ]
 
     def test_skip_file_pragma(self):
@@ -283,3 +301,215 @@ class TestCli:
         assert proc.returncode == 1
         assert "R003" in proc.stdout
         assert "violation(s) found" in proc.stderr
+
+
+class TestJsonFormat:
+    def test_json_envelope_on_bad_fixture(self, capsys):
+        rel, expected = BAD_FIXTURES["R003"]
+        assert main(["--format", "json", str(FIXTURES / rel)]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["version"] == 1
+        assert payload["count"] == expected == len(payload["diagnostics"])
+        assert payload["rules"] == list(RULE_IDS)
+        diag = payload["diagnostics"][0]
+        assert set(diag) == {"path", "line", "col", "rule_id", "message"}
+        assert diag["rule_id"] == "R003"
+        # json mode keeps stderr silent: the envelope is the whole report
+        assert captured.err == ""
+
+    def test_json_envelope_on_clean_path(self, capsys):
+        path = str(FIXTURES / GOOD_FIXTURES["R001"])
+        assert main(["--format", "json", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+        assert payload["diagnostics"] == []
+
+    def test_json_rules_reflect_selection(self, capsys):
+        rel, _ = BAD_FIXTURES["R003"]
+        args = ["--format", "json", "--select", "R010,R003", str(FIXTURES / rel)]
+        assert main(args) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["R003", "R010"]
+
+
+class TestRunnerEdgeCases:
+    def test_unreadable_file_becomes_diagnostic(self, tmp_path):
+        bogus = tmp_path / "bogus.py"
+        bogus.write_bytes(b"\xff\xfe not utf-8 \xff\n")
+        assert rule_ids(lint_paths([bogus])) == ["E001"]
+
+    def test_pycache_and_non_python_files_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "mod.py").write_text("def oops(:\n")
+        (tmp_path / "notes.txt").write_text("not python (\n")
+        (tmp_path / "data.json").write_text("{]\n")
+        assert lint_paths([tmp_path]) == []
+
+    def test_pragma_on_last_line_of_multiline_statement(self):
+        source = (
+            "def zone(length):\n"
+            "    return (\n"
+            "        length // 2\n"
+            "    )  # repro-lint: ignore[R004]\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+    def test_skip_file_pragma_below_line_one(self):
+        source = (
+            '"""Docstring first, pragma second."""\n'
+            "# repro-lint: skip-file\n"
+            "def zone(length):\n"
+            "    return length // 2\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+    def test_ordering_is_deterministic(self):
+        paths = [
+            FIXTURES / BAD_FIXTURES["R008"][0],
+            FIXTURES / BAD_FIXTURES["R003"][0],
+        ]
+        forward = lint_paths(paths)
+        assert forward == lint_paths(list(reversed(paths)))
+        assert forward == sorted(
+            forward,
+            key=lambda d: (d.path, d.line, d.col, d.rule_id, d.message),
+        )
+
+    def test_empty_select_entry_raises(self):
+        with pytest.raises(InvalidParameterError):
+            lint_paths([FIXTURES], select=[""])
+
+    def test_cli_empty_select_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--select", "", str(FIXTURES)])
+        assert excinfo.value.code == 2
+
+
+class TestObsRegistryCanary:
+    def test_seeded_typo_fails_both_directions(self, tmp_path):
+        # The CI canary contract: misspell one literal emission site in a
+        # copy of the shipped tree and R010 must report the unknown name
+        # at the emission site AND the now-orphaned registry declaration.
+        copy = tmp_path / "repro"
+        shutil.copytree(SRC, copy, ignore=shutil.ignore_patterns("__pycache__"))
+        target = copy / "core" / "compute_submp.py"
+        text = target.read_text()
+        assert 'obs.add("submp.profiles.total"' in text
+        target.write_text(
+            text.replace(
+                'obs.add("submp.profiles.total"',
+                'obs.add("submp.profiles.totall"',
+                1,
+            )
+        )
+        diagnostics = lint_paths([copy], select=["R010"])
+        assert diagnostics and {d.rule_id for d in diagnostics} == {"R010"}
+        messages = [d.message for d in diagnostics]
+        assert any("submp.profiles.totall" in m for m in messages)
+        assert any("never emitted" in m for m in messages)
+
+    def test_unseeded_copy_is_clean(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(SRC, copy, ignore=shutil.ignore_patterns("__pycache__"))
+        assert lint_paths([copy], select=["R010"]) == []
+
+
+class TestStalePragma:
+    def test_stale_pragma_is_flagged(self):
+        source = "x = 1  # repro-lint: ignore[R004]\n"
+        diags = lint_source(source, path="matrixprofile/fake.py")
+        assert rule_ids(diags) == ["R011"]
+        assert "stale" in diags[0].message
+
+    def test_unknown_rule_id_in_pragma_is_flagged(self):
+        source = "x = 1  # repro-lint: ignore[R999]\n"
+        diags = lint_source(source, path="matrixprofile/fake.py")
+        assert rule_ids(diags) == ["R011"]
+        assert "R999" in diags[0].message
+
+    def test_used_pragma_is_not_stale(self):
+        source = (
+            "def zone(length):\n"
+            "    return length // 2  # repro-lint: ignore[R004]\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+    def test_pragma_for_inactive_rule_is_not_stale(self):
+        # When R004 is not in the active set it never had the chance to
+        # fire, so its pragma cannot be proven stale.
+        active = [r for r in all_rules() if r.rule_id == "R011"]
+        source = "x = 1  # repro-lint: ignore[R004]\n"
+        assert lint_source(source, path="matrixprofile/fake.py", rules=active) == []
+
+
+class TestF32Escape:
+    def test_rule_scoped_to_kernel_package(self):
+        source = (
+            "import numpy as np\n"
+            "def f(series):\n"
+            "    x = series.astype(np.float32)\n"
+            "    return x\n"
+        )
+        assert rule_ids(lint_source(source, path="kernels/fake.py")) == ["R012"]
+        assert lint_source(source, path="analysis/fake.py") == []
+
+    def test_rebinding_kills_taint(self):
+        source = (
+            "import numpy as np\n"
+            "def f(series):\n"
+            "    x = series.astype(np.float32)\n"
+            "    x = series * 1.0\n"
+            "    return x\n"
+        )
+        assert lint_source(source, path="kernels/fake.py") == []
+
+    def test_index_sanitizer_allows_verified_escape(self):
+        source = (
+            "import numpy as np\n"
+            "def f(series):\n"
+            "    x = series.astype(np.float32)\n"
+            "    j = int(np.argmax(x))\n"
+            "    return float(series[j])\n"
+        )
+        assert lint_source(source, path="kernels/fake.py") == []
+
+    def test_float_cast_is_not_a_sanitizer(self):
+        # float() changes the Python type but not the demoted precision.
+        source = (
+            "import numpy as np\n"
+            "def f(series):\n"
+            "    x = series.astype(np.float32)\n"
+            "    return float(x[0])\n"
+        )
+        assert rule_ids(lint_source(source, path="kernels/fake.py")) == ["R012"]
+
+
+class TestContractCoverage:
+    def test_public_uncontracted_function_flagged(self):
+        source = '__all__ = ["f"]\n\n\ndef f(x):\n    return x\n'
+        diags = lint_source(source, path="core/fake.py")
+        assert rule_ids(diags) == ["R013"]
+        assert "f" in diags[0].message
+
+    def test_contracted_function_clean(self):
+        source = (
+            "from repro.lint.contracts import positive_int, require\n"
+            '__all__ = ["f"]\n'
+            "@require(x=positive_int())\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        assert lint_source(source, path="core/fake.py") == []
+
+    def test_rule_scoped_to_entry_packages(self):
+        source = '__all__ = ["f"]\n\n\ndef f(x):\n    return x\n'
+        assert lint_source(source, path="obs/fake.py") == []
+
+    def test_non_exported_functions_exempt(self):
+        source = (
+            '__all__ = ["f"]\n\n\ndef f(x):\n    return x\n\n\n'
+            "def helper(x):\n    return x\n"
+        )
+        assert rule_ids(lint_source(source, path="core/fake.py")) == ["R013"]

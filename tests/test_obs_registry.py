@@ -1,0 +1,133 @@
+"""Tests for :mod:`repro.obs.registry` — the obs name catalog.
+
+The registry is the single source of truth for every counter, gauge,
+and span name the package emits; lint rule R010 checks emission sites
+against it statically.  These tests cover the lookup API (exact names,
+``{placeholder}`` templates, kinds) and close the loop dynamically: a
+traced workload may only emit names the registry declares.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.compute_mp import compute_matrix_profile
+from repro.core.valmod import Valmod
+from repro.exceptions import InvalidParameterError
+from repro.matrixprofile.stomp import stomp
+from repro.obs import registry
+
+
+class TestLookup:
+    def test_exact_names_are_declared(self):
+        assert registry.is_declared("engine.rows", "counter")
+        assert registry.is_declared("kernel.block_rows", "gauge")
+        assert registry.is_declared("engine.stomp", "span")
+
+    def test_kind_is_part_of_the_key(self):
+        assert not registry.is_declared("engine.rows", "gauge")
+        assert not registry.is_declared("kernel.block_rows", "counter")
+        # kind=None searches all three tables
+        assert registry.is_declared("engine.rows")
+
+    def test_template_matches_concrete_expansion(self):
+        assert registry.is_declared("submp.profiles.valid.l48", "counter")
+        assert registry.is_declared("valmod.lengths.lb-pruned", "counter")
+
+    def test_template_matches_structurally(self):
+        # a template name matches its declaration regardless of the
+        # placeholder's spelling
+        assert registry.is_declared("submp.profiles.valid.l{length}", "counter")
+        assert registry.is_declared("submp.profiles.valid.l{}", "counter")
+
+    def test_placeholder_is_a_dot_free_fragment(self):
+        assert not registry.is_declared("submp.profiles.valid.l4.8", "counter")
+
+    def test_unknown_names_are_not_declared(self):
+        assert not registry.is_declared("engine.rowz", "counter")
+        assert not registry.is_declared("submp.profiles.totall", "counter")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(InvalidParameterError):
+            registry.is_declared("engine.rows", "bogus")
+
+    def test_declared_passes_through_or_raises(self):
+        assert registry.declared("engine.rows") == "engine.rows"
+        with pytest.raises(InvalidParameterError):
+            registry.declared("engine.rowz")
+
+    def test_describe(self):
+        assert registry.describe("engine.rows", "counter")
+        # a concrete expansion inherits the template's description
+        assert registry.describe("submp.profiles.valid.l48") == registry.describe(
+            "submp.profiles.valid.l{length}"
+        )
+        assert registry.describe("no.such.name") is None
+
+    def test_normalize_template(self):
+        assert registry.normalize_template("a.l{length}.b{x}") == "a.l{}.b{}"
+        assert registry.normalize_template("plain.name") == "plain.name"
+
+    def test_all_names_sorted_and_filtered(self):
+        counters = registry.all_names("counter")
+        assert "engine.rows" in counters
+        assert counters == sorted(counters)
+        assert "engine.stomp" not in counters
+        assert len(registry.all_names()) == len(counters) + len(
+            registry.all_names("gauge")
+        ) + len(registry.all_names("span"))
+
+    def test_undeclared_filters(self):
+        assert registry.undeclared(
+            ["engine.rows", "zzz", "submp.profiles.valid.l9"], "counter"
+        ) == ["zzz"]
+
+    def test_format_catalog_lists_every_name(self):
+        text = registry.format_catalog()
+        for name in registry.all_names():
+            assert f"`{name}`" in text
+
+
+class TestRuntimeCoverage:
+    """The dynamic half of the R010 contract.
+
+    Everything a real traced workload records must be declared; this
+    catches emission paths static analysis could miss (names built at
+    runtime, worker-side span paths).
+    """
+
+    @pytest.fixture(autouse=True)
+    def clean_tracer(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def _assert_snapshot_declared(self):
+        snap = obs.snapshot()
+        assert registry.undeclared(snap["counters"], "counter") == []
+        assert registry.undeclared(snap["gauges"], "gauge") == []
+        # spans record under "/"-joined nesting paths; every segment of
+        # a path was a name passed to obs.span
+        segments = {seg for path in snap["spans"] for seg in path.split("/")}
+        assert registry.undeclared(segments, "span") == []
+        return snap
+
+    def test_stomp_workload_emits_only_declared_names(self):
+        series = np.random.default_rng(0).standard_normal(300)
+        obs.enable()
+        stomp(series, 16)
+        compute_matrix_profile(series, 16, p=4)
+        snap = self._assert_snapshot_declared()
+        assert snap["counters"]  # the workload actually traced something
+
+    def test_valmod_workload_emits_only_declared_names(self):
+        # VALMOD drives the listDP store, sub-MP certification, and the
+        # per-length counter families — the template-heavy part of the
+        # catalog.
+        series = np.random.default_rng(1).standard_normal(240)
+        obs.enable()
+        Valmod(series, 16, 24, p=8).run()
+        snap = self._assert_snapshot_declared()
+        assert any(name.startswith("submp.") for name in snap["counters"])
