@@ -58,6 +58,7 @@ from repro.features import (
     AnnotationSummary,
     FeatureStore,
     SeriesFeatures,
+    StreamingFeatures,
     extract_features,
     extract_features_batch,
     feature_cache_key,
@@ -68,7 +69,9 @@ from repro.multiseries import consensus_motif, find_snippets, mpdist_matrix
 from repro.multidim import mstamp, multidim_motifs
 from repro.matrixprofile import (
     MatrixProfile,
+    StreamEvent,
     StreamingMatrixProfile,
+    StreamingValmod,
     compute_with,
     engine_names,
     parallel_stomp,
@@ -82,9 +85,10 @@ from repro.exceptions import (
     InvalidSeriesError,
     NotComputedError,
     ReproError,
+    WindowTooSmallError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnnotationSummary",
@@ -107,6 +111,9 @@ __all__ = [
     "tightness_of_lower_bound",
     "MatrixProfile",
     "StreamingMatrixProfile",
+    "StreamingValmod",
+    "StreamingFeatures",
+    "StreamEvent",
     "stomp",
     "stamp",
     "scrimp",
@@ -143,5 +150,6 @@ __all__ = [
     "InvalidSeriesError",
     "InvalidParameterError",
     "NotComputedError",
+    "WindowTooSmallError",
     "__version__",
 ]

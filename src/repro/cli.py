@@ -9,6 +9,8 @@ Subcommands
 ``profile``  compute one fixed-length matrix profile with a chosen
              engine (``--engine``, ``--n-jobs``).
 ``sets``     run the full Problem-2 pipeline (VALMOD + motif sets).
+``stream``   feed a series point-by-point through the streaming engine,
+             printing motif/discord change events as they fire.
 ``datasets`` list the synthetic dataset families and their statistics.
 ``bench``    run one of the figure sweeps at a small scale.
 
@@ -55,7 +57,8 @@ __all__ = ["main", "build_parser"]
 
 def _load_series(args: argparse.Namespace) -> np.ndarray:
     if args.csv is not None:
-        return np.loadtxt(args.csv, dtype=np.float64, delimiter=args.delimiter)
+        source = sys.stdin if args.csv == "-" else args.csv
+        return np.loadtxt(source, dtype=np.float64, delimiter=args.delimiter)
     return load_dataset(args.dataset, args.points, seed=args.seed)
 
 
@@ -251,6 +254,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_series_arguments(snippets)
     snippets.add_argument("--k", type=int, default=2, help="snippets to extract")
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a series through the streaming engine, printing "
+        "motif/discord change events",
+    )
+    _add_series_arguments(stream)
+    _add_jobs_argument(stream)
+    stream.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=list(engine_names()),
+        help=f"matrix-profile engine (default {DEFAULT_ENGINE})",
+    )
+    stream.add_argument(
+        "--init",
+        type=int,
+        default=0,
+        help="points used to seed the engine before streaming "
+        "(default: 4 * l_max)",
+    )
+    stream.add_argument(
+        "--chunk", type=int, default=64, help="points fed per batch"
+    )
+    stream.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        dest="max_points",
+        help="sliding-window capacity (default: unbounded growth)",
+    )
+    stream.add_argument(
+        "--k-discords", type=int, default=3, dest="k_discords"
+    )
+    stream.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        dest="snapshot_every",
+        help="materialize exact motifs/discords every N streamed points "
+        "(0 = only at the end)",
+    )
+    stream.add_argument("--top", type=int, default=5, help="motifs to print")
 
     sub.add_parser("datasets", help="list synthetic dataset families")
 
@@ -463,6 +509,90 @@ def _cmd_snippets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _discord_table(discords) -> str:
+    rows = [
+        (d.length, d.start, f"{d.distance:.4f}", f"{d.normalized_distance:.4f}")
+        for d in discords
+    ]
+    return format_table(["length", "start", "distance", "normalized"], rows)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.features import StreamingFeatures
+
+    series = _load_series(args)
+    init = args.init if args.init > 0 else 4 * args.l_max
+    if series.size <= init:
+        print(
+            f"error: need more than {init} points to stream "
+            f"(got {series.size}; lower --init)",
+            file=sys.stderr,
+        )
+        return 2
+    stream = StreamingFeatures(
+        series[:init],
+        args.l_min,
+        args.l_max,
+        p=args.p,
+        top_k=args.top,
+        k_discords=args.k_discords,
+        engine=args.engine,
+        n_jobs=args.n_jobs,
+        max_points=args.max_points,
+    )
+    print(
+        f"# streaming {series.size - init} points after a {init}-point seed, "
+        f"lengths {args.l_min}..{args.l_max}, engine={args.engine}, "
+        f"max_points={args.max_points or 'unbounded'}"
+    )
+    since_snapshot = 0
+    for start in range(init, series.size, max(args.chunk, 1)):
+        chunk = series[start : start + max(args.chunk, 1)]
+        stream.extend(chunk)
+        evicted = 0
+        for event in stream.drain_events():
+            # One eviction event fires per retired point once the window
+            # is full; summarize them per chunk to keep the feed legible.
+            if event.kind == "window-evicted":
+                evicted += 1
+                continue
+            print(
+                f"@ {event.at_point} {event.kind} length={event.length} "
+                f"{event.detail}"
+            )
+        if evicted:
+            print(
+                f"@ {stream.total_points} window-evicted {evicted} points; "
+                f"window now starts at {stream.window_start}"
+            )
+        since_snapshot += chunk.size
+        if args.snapshot_every and since_snapshot >= args.snapshot_every:
+            since_snapshot = 0
+            pairs = sorted(
+                stream.motif_pairs().values(),
+                key=lambda pair: pair.normalized_distance,
+            )[: args.top]
+            best = pairs[0] if pairs else None
+            print(
+                f"# snapshot @ {stream.total_points}: window "
+                f"[{stream.window_start}, {stream.total_points}), best motif "
+                + (
+                    f"l={best.length} ({best.a}, {best.b}) "
+                    f"nd={best.normalized_distance:.4f}"
+                    if best
+                    else "(none)"
+                )
+            )
+    print(f"# final window [{stream.window_start}, {stream.total_points})")
+    pairs = sorted(
+        stream.motif_pairs().values(),
+        key=lambda pair: pair.normalized_distance,
+    )[: args.top]
+    print(_motif_table(pairs))
+    print(_discord_table(stream.discords()))
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     rows = []
     for name in DATASET_NAMES:
@@ -521,6 +651,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sets": _cmd_sets,
         "segment": _cmd_segment,
         "snippets": _cmd_snippets,
+        "stream": _cmd_stream,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
     }

@@ -70,7 +70,7 @@ from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.registry import compute_with
 from repro.types import FloatArray, IntArray
 
-__all__ = ["find_discords_pruned", "UB_RELATIVE_SLACK"]
+__all__ = ["find_discords_pruned", "length_upper_bound", "UB_RELATIVE_SLACK"]
 
 #: relative safety margin on the pruning comparison.  The stored dot
 #: products accumulate one rounding error per length increment, so the
@@ -81,7 +81,8 @@ __all__ = ["find_discords_pruned", "UB_RELATIVE_SLACK"]
 UB_RELATIVE_SLACK = 1e-9
 
 
-def _length_upper_bound(
+@require(length=positive_int())
+def length_upper_bound(
     store_neighbor: IntArray,
     store_qt: FloatArray,
     ctx: SeriesContext,
@@ -91,6 +92,9 @@ def _length_upper_bound(
 
     ``+inf`` when any surviving position has no usable stored entry
     (nothing bounds its profile value, so the length cannot be pruned).
+    Public because the streaming driver
+    (:class:`repro.matrixprofile.streaming_valmod.StreamingValmod`)
+    seeds its maintained per-length bounds from the same listDP store.
     """
     n = ctx.series.size
     n_dp = n - length + 1
@@ -199,7 +203,7 @@ def find_discords_pruned(
                 if len(selection) == k
                 else -math.inf
             )
-            upper = _length_upper_bound(store.neighbor, store.qt, ctx, length)
+            upper = length_upper_bound(store.neighbor, store.qt, ctx, length)
             if upper * (1.0 + UB_RELATIVE_SLACK) < threshold:
                 pruned[length] = upper
                 continue

@@ -128,6 +128,16 @@ class Valmod:
         with or without a shared context.
     """
 
+    @require(
+        series=series_like(min_length=8),
+        l_min=positive_int(),
+        l_max=positive_int(),
+        p=positive_int(),
+        track_top_k=int_at_least(0),
+        n_jobs=optional(instance_of(int)),
+        trace=optional(instance_of(bool)),
+        stats_cache=instance_of(bool),
+    )
     def __init__(
         self,
         series: FloatArray,

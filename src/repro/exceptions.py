@@ -14,6 +14,7 @@ __all__ = [
     "InvalidSeriesError",
     "InvalidParameterError",
     "NotComputedError",
+    "WindowTooSmallError",
     "BudgetExceededError",
     "ContractViolationError",
     "SeriesContractViolationError",
@@ -34,6 +35,17 @@ class InvalidParameterError(ReproError, ValueError):
 
 class NotComputedError(ReproError, RuntimeError):
     """A result was requested before the producing computation ran."""
+
+
+class WindowTooSmallError(InvalidParameterError):
+    """A sliding window cannot hold the configured subsequence lengths.
+
+    Raised by the streaming engines when ``max_points`` (or an eviction
+    that would shrink the retained window) leaves fewer than two
+    non-overlapping subsequences of the largest configured length —
+    the point where batch recomputation on the window becomes
+    ill-defined and results would silently drift instead of failing.
+    """
 
 
 class BudgetExceededError(ReproError, RuntimeError):

@@ -43,6 +43,7 @@ from repro.features.store import (
     feature_cache_key,
     resolve_store,
 )
+from repro.features.streaming import StreamingFeatures
 
 __all__ = [
     "AnnotationSummary",
@@ -54,6 +55,7 @@ __all__ = [
     "STORE_ENV",
     "STORE_SCHEMA_VERSION",
     "SeriesFeatures",
+    "StreamingFeatures",
     "extract_features",
     "extract_features_batch",
     "feature_cache_key",

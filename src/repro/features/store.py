@@ -30,6 +30,7 @@ import numpy as np
 
 from repro import obs
 from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import instance_of, optional, positive_int, require
 from repro.kernels import KERNEL_SCHEMA_VERSION
 
 __all__ = [
@@ -109,6 +110,10 @@ class FeatureStore:
         ``features.cache.evictions``.
     """
 
+    @require(
+        root=instance_of(str, Path),
+        max_entries=optional(positive_int()),
+    )
     def __init__(
         self,
         root: Union[str, Path],

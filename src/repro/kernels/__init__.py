@@ -20,6 +20,7 @@ lazily), so engines above it can import :class:`SeriesContext` freely.
 
 from repro.kernels.context import SeriesContext, ensure_context
 from repro.kernels.blocked import DEFAULT_BLOCK_ROWS, blocked_stomp
+from repro.kernels.streaming_stats import StreamingSeriesStats
 
 #: Version of the numerical contract the kernels implement.  Bump this
 #: whenever a kernel change may alter results at the bit level (new
@@ -32,6 +33,7 @@ KERNEL_SCHEMA_VERSION = 1
 __all__ = [
     "KERNEL_SCHEMA_VERSION",
     "SeriesContext",
+    "StreamingSeriesStats",
     "ensure_context",
     "DEFAULT_BLOCK_ROWS",
     "blocked_stomp",

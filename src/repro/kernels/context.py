@@ -68,6 +68,7 @@ class SeriesContext:
 
     __slots__ = ("series", "_stats", "_ffts", "_prefix")
 
+    @require(min_length=positive_int())
     def __init__(self, series: SeriesLike, min_length: int = 2) -> None:
         self.series: FloatArray = as_series(series, min_length=min_length)
         self._stats: Dict[int, Tuple[FloatArray, FloatArray]] = {}

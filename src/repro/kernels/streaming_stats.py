@@ -1,0 +1,158 @@
+"""Incrementally-extended per-window statistics for the streaming engines.
+
+:class:`~repro.kernels.context.SeriesContext` caches one
+``moving_mean_std`` array pair per length for a *fixed* series; a
+streaming engine would have to rebuild that context (and recompute every
+window) on each append.  :class:`StreamingSeriesStats` is the streaming
+counterpart: it owns an amortized-growth buffer of the current window
+and, for every length in ``[l_min, l_max]``, per-window mean/std arrays
+that are *extended in place* — one exact O(l) window computation per
+length per append, never a full recompute.
+
+Numerical contract: every per-window value is computed directly on the
+window slice (``window.mean()`` / ``window.var()``), which is exactly
+the "suspicious window" recompute path ``moving_mean_std`` falls back to
+when prefix-sum cancellation bites (PR 1's noise-floor fix).  Streaming
+values therefore agree with the batch statistics to rounding error even
+on high-magnitude shelves — close enough for the eager bound layer,
+whose comparisons carry an explicit slack; the materialization paths
+recompute batch statistics on the window and never read these arrays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import obs
+from repro.distance.sliding import moving_mean_std
+from repro.distance.znorm import as_series
+from repro.exceptions import InvalidParameterError
+from repro.lint.contracts import positive_int, require, series_like
+from repro.types import FloatArray
+
+__all__ = ["StreamingSeriesStats"]
+
+
+def _capacity_for(n: int) -> int:
+    cap = 64
+    while cap < n:
+        cap *= 2
+    return cap
+
+
+class StreamingSeriesStats:
+    """Growing window buffer plus per-length running window statistics.
+
+    Supports :meth:`append` (O(sum of lengths) exact window stats),
+    :meth:`evict` (slide the retained window left), and zero-copy
+    :meth:`mean_std` views per length.  All arrays are float64.
+    """
+
+    @require(series=series_like(), l_min=positive_int(), l_max=positive_int())
+    def __init__(self, series: FloatArray, l_min: int, l_max: int) -> None:
+        t = as_series(series, min_length=2)
+        if l_min < 2 or l_min > l_max:
+            raise InvalidParameterError(
+                f"need 2 <= l_min <= l_max, got l_min={l_min} l_max={l_max}"
+            )
+        if l_max > t.size:
+            raise InvalidParameterError(
+                f"l_max {l_max} exceeds the initial series size {t.size}"
+            )
+        self.l_min = int(l_min)
+        self.l_max = int(l_max)
+        self._n = t.size
+        self._cap = _capacity_for(t.size)
+        self._buf = np.empty(self._cap, dtype=np.float64)
+        self._buf[: self._n] = t
+        self._mu: dict = {}
+        self._sigma: dict = {}
+        for length in range(self.l_min, self.l_max + 1):
+            mu, sigma = moving_mean_std(t, length)
+            mu_buf = np.empty(self._cap, dtype=np.float64)
+            sigma_buf = np.empty(self._cap, dtype=np.float64)
+            mu_buf[: mu.size] = mu
+            sigma_buf[: sigma.size] = sigma
+            self._mu[length] = mu_buf
+            self._sigma[length] = sigma_buf
+
+    @property
+    def n_points(self) -> int:
+        """Number of points currently retained."""
+        return self._n
+
+    def series(self) -> FloatArray:
+        """Read-only view of the current window (no copy)."""
+        view = self._buf[: self._n]
+        view.flags.writeable = False
+        return view
+
+    def _grow(self) -> None:
+        obs.add("streaming.buffer.regrows")
+        self._cap *= 2
+        new_buf = np.empty(self._cap, dtype=np.float64)
+        new_buf[: self._n] = self._buf[: self._n]
+        self._buf = new_buf
+        for length in range(self.l_min, self.l_max + 1):
+            count = max(0, self._n - length + 1)
+            for table in (self._mu, self._sigma):
+                new = np.empty(self._cap, dtype=np.float64)
+                new[:count] = table[length][:count]
+                table[length] = new
+
+    def append(self, value: float) -> None:
+        """Ingest one point, extending every per-length stats array."""
+        if not np.isfinite(value):
+            raise InvalidParameterError(
+                f"appended value must be finite, got {value}"
+            )
+        if self._n + 1 > self._cap:
+            self._grow()
+        self._buf[self._n] = float(value)
+        self._n += 1
+        n = self._n
+        for length in range(self.l_min, self.l_max + 1):
+            if n < length:
+                continue
+            window = self._buf[n - length : n]
+            mu = float(window.mean())
+            sigma = math.sqrt(max(float(window.var()), 0.0))
+            self._mu[length][n - length] = mu
+            self._sigma[length][n - length] = sigma
+
+    def evict(self, count: int) -> None:
+        """Retire the ``count`` oldest points (slide the window left)."""
+        if count < 0:
+            raise InvalidParameterError(f"evict count must be >= 0, got {count}")
+        if count == 0:
+            return
+        if count >= self._n or self._n - count < self.l_max:
+            raise InvalidParameterError(
+                f"evicting {count} of {self._n} points would leave fewer "
+                f"than l_max={self.l_max} points"
+            )
+        n = self._n
+        self._buf[: n - count] = self._buf[count:n]
+        for length in range(self.l_min, self.l_max + 1):
+            windows = n - length + 1
+            if windows <= count:
+                continue
+            for table in (self._mu, self._sigma):
+                arr = table[length]
+                arr[: windows - count] = arr[count:windows]
+        self._n = n - count
+
+    def mean_std(self, length: int) -> tuple:
+        """(mu, sigma) views over the current window's length-``l`` windows."""
+        if not self.l_min <= length <= self.l_max:
+            raise InvalidParameterError(
+                f"length {length} outside configured [{self.l_min}, {self.l_max}]"
+            )
+        count = self._n - length + 1
+        if count <= 0:
+            raise InvalidParameterError(
+                f"window of {self._n} points has no length-{length} subsequences"
+            )
+        return self._mu[length][:count], self._sigma[length][:count]

@@ -11,12 +11,16 @@ This rule checks every module of the entry packages (``core``,
 ``distance``, ``matrixprofile``, ``kernels``, ``features``): each
 top-level function listed in the module's literal ``__all__`` must carry
 at least one ``@require``/``@ensure`` decorator (dotted forms like
-``contracts.require`` count).  Classes, constants, and re-exports in
-``__all__`` are exempt — the contract machinery wraps callables.  A
-function whose boundary genuinely cannot be predicated (pure dispatch,
-trivial accessors) opts out with a ``repro-lint: ignore[R013]`` pragma
-comment on its signature, which keeps the exemption visible and
-auditable.
+``contracts.require`` count).  An exported *class* is a boundary too —
+its constructor is how junk enters a long-lived object — so a class in
+``__all__`` that defines an explicit ``__init__`` must contract it the
+same way (classes without their own ``__init__``, e.g. dataclasses and
+plain result records, are exempt: there is no hand-written boundary to
+predicate).  Constants and re-exports in ``__all__`` are exempt.  A
+function or constructor whose boundary genuinely cannot be predicated
+(pure dispatch, trivial accessors) opts out with a
+``repro-lint: ignore[R013]`` pragma comment on its signature, which
+keeps the exemption visible and auditable.
 """
 
 from __future__ import annotations
@@ -66,8 +70,9 @@ class ContractCoverageRule(Rule):
     rule_id = "R013"
     name = "contract-coverage"
     summary = (
-        "every public __all__ function in the entry packages declares "
-        "require/ensure contracts (or an explicit pragma opt-out)"
+        "every public __all__ function (and exported-class __init__) in "
+        "the entry packages declares require/ensure contracts (or an "
+        "explicit pragma opt-out)"
     )
     rationale = (
         "uncontracted public boundaries let junk inputs travel three "
@@ -87,17 +92,38 @@ class ContractCoverageRule(Rule):
             return
         public = {name for name in exported if not name.startswith("_")}
         for stmt in ctx.tree.body:
-            if not isinstance(stmt, ast.FunctionDef):
-                continue
-            if stmt.name not in public:
-                continue
-            if any(_is_contract_decorator(dec) for dec in stmt.decorator_list):
-                continue
-            yield self.diag(
-                ctx,
-                stmt,
-                f"public function {stmt.name} is exported via __all__ but "
-                "declares no require/ensure contract; add one (see "
-                "repro.lint.contracts) or opt out with a "
-                "'repro-lint: ignore[R013]' pragma",
-            )
+            if isinstance(stmt, ast.FunctionDef):
+                if stmt.name not in public:
+                    continue
+                if any(_is_contract_decorator(d) for d in stmt.decorator_list):
+                    continue
+                yield self.diag(
+                    ctx,
+                    stmt,
+                    f"public function {stmt.name} is exported via __all__ "
+                    "but declares no require/ensure contract; add one (see "
+                    "repro.lint.contracts) or opt out with a "
+                    "'repro-lint: ignore[R013]' pragma",
+                )
+            elif isinstance(stmt, ast.ClassDef) and stmt.name in public:
+                init = next(
+                    (
+                        member
+                        for member in stmt.body
+                        if isinstance(member, ast.FunctionDef)
+                        and member.name == "__init__"
+                    ),
+                    None,
+                )
+                if init is None:
+                    continue
+                if any(_is_contract_decorator(d) for d in init.decorator_list):
+                    continue
+                yield self.diag(
+                    ctx,
+                    init,
+                    f"constructor {stmt.name}.__init__ belongs to a class "
+                    "exported via __all__ but declares no require/ensure "
+                    "contract; add one (see repro.lint.contracts) or opt "
+                    "out with a 'repro-lint: ignore[R013]' pragma",
+                )

@@ -42,6 +42,20 @@ from repro.matrixprofile.leftright import LeftRightProfiles, stomp_left_right
 from repro.matrixprofile.join import ab_join_motif, stomp_ab_join
 from repro.matrixprofile.mpdist import mpdist
 
+# StreamingValmod composes the repro.core drivers, and this package
+# initializes *while* repro.core is still importing (core modules pull
+# in the exclusion-zone helpers above), so the streaming engine must be
+# resolved lazily (PEP 562) to avoid a circular import.
+_LAZY = {"StreamingValmod", "StreamEvent"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.matrixprofile import streaming_valmod
+
+        return getattr(streaming_valmod, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "MatrixProfile",
     "exclusion_zone_half_width",
@@ -58,6 +72,8 @@ __all__ = [
     "engine_names",
     "compute_with",
     "StreamingMatrixProfile",
+    "StreamingValmod",
+    "StreamEvent",
     "LeftRightProfiles",
     "stomp_left_right",
     "ab_join_motif",

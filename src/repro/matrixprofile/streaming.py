@@ -7,22 +7,43 @@ it improve existing entries.  Total cost per append is O(n) with the
 incremental dot-product update — the same recurrence STOMP uses, rotated
 90 degrees.
 
+All per-append state lives in hoisted, amortized-doubling scratch
+buffers (series, window statistics, trailing QT, profile/index): an
+append allocates nothing beyond the distance row, and the window
+statistics are extended with one exact O(l) computation instead of a
+per-append context rebuild.  The ``streaming.buffer.regrows`` counter
+proves the amortization (log₂ growths over any run) and
+``stats.cache.misses`` stays flat across appends.
+
+With ``max_points=`` the engine keeps a sliding window: the oldest
+points are retired after each append, surviving rows whose recorded
+neighbor was evicted are repaired by an exact distance-row recompute
+(``streaming.rows.repaired``), and the result equals a from-scratch
+computation on the retained window.
+
 This engine exists because the paper's motivating deployments
 (AspenTech's precursor search, EPG monitoring) are streaming settings;
-it lets the examples and benches exercise motif discovery on growing
-series without recomputation from scratch.
+the variable-length generalization lives in
+:mod:`repro.matrixprofile.streaming_valmod`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.distance.profile import distance_profile_from_qt
+from repro import obs
+from repro.distance.profile import apply_exclusion_zone, distance_profile_from_qt
 from repro.distance.znorm import as_series
 from repro.kernels.context import ensure_context
-from repro.exceptions import InvalidParameterError, NotComputedError
+from repro.exceptions import (
+    InvalidParameterError,
+    NotComputedError,
+    WindowTooSmallError,
+)
+from repro.lint.contracts import optional, positive_int, require, series_like
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
 from repro.matrixprofile.index import MatrixProfile
 
@@ -30,7 +51,7 @@ __all__ = ["StreamingMatrixProfile"]
 
 
 class StreamingMatrixProfile:
-    """Maintains the matrix profile of a growing series.
+    """Maintains the matrix profile of a growing (or sliding) series.
 
     Usage::
 
@@ -41,9 +62,22 @@ class StreamingMatrixProfile:
 
     Appends are O(n) each; the result after any number of appends equals
     a from-scratch computation on the concatenated series (tested).
+    With ``max_points`` the window slides and the result equals a
+    from-scratch computation on the retained window.
     """
 
-    def __init__(self, series: np.ndarray, length: int) -> None:
+    @require(
+        series=series_like(min_length=4),
+        length=positive_int(),
+        max_points=optional(positive_int()),
+    )
+    def __init__(
+        self,
+        series: np.ndarray,
+        length: int,
+        *,
+        max_points: Optional[int] = None,
+    ) -> None:
         t = as_series(series, min_length=4)
         if length < 2 or length > t.size // 2:
             raise InvalidParameterError(
@@ -51,73 +85,191 @@ class StreamingMatrixProfile:
             )
         self.length = int(length)
         self._zone = exclusion_zone_half_width(self.length)
-        self._values = list(t)
-        # Dot products of the LAST subsequence against all others; the
-        # append recurrence extends this vector in O(n).
+        if max_points is not None:
+            max_points = int(max_points)
+            if max_points < 2 * self.length:
+                raise WindowTooSmallError(
+                    f"max_points={max_points} cannot hold two non-overlapping "
+                    f"subsequences of length {self.length} "
+                    f"(need >= {2 * self.length})"
+                )
+        self._max_points = max_points
+        self._start = 0
+        self._n = t.size
+        self._cap = 64
+        while self._cap < 2 * t.size:
+            self._cap *= 2
+        self._buf = np.empty(self._cap, dtype=np.float64)
+        self._buf[: t.size] = t
+        self._mu = np.empty(self._cap, dtype=np.float64)
+        self._sigma = np.empty(self._cap, dtype=np.float64)
+        self._qt = np.empty(self._cap, dtype=np.float64)
+        self._qt_tmp = np.empty(self._cap, dtype=np.float64)
+        self._profile: Optional[np.ndarray] = None
+        self._index: Optional[np.ndarray] = None
         self._rebuild()
+        if self._max_points is not None and self._n > self._max_points:
+            self._evict(self._n - self._max_points)
 
     def _rebuild(self) -> None:
-        t = np.asarray(self._values, dtype=np.float64)
-        n_subs = t.size - self.length + 1
+        t = self._buf[: self._n]
+        n_subs = self._n - self.length + 1
         from repro.matrixprofile.stomp import stomp
 
-        ctx = ensure_context(t)
-        mp = stomp(t, self.length, context=ctx)
-        self._profile = mp.profile.copy()
-        self._index = mp.index.copy()
-        self._last_qt = ctx.sliding_dot_product(t[n_subs - 1 :])
+        ctx = ensure_context(t.copy())
+        mp = stomp(ctx.series, self.length, context=ctx)
+        profile = np.full(self._cap, np.inf, dtype=np.float64)
+        index = np.full(self._cap, -1, dtype=np.int64)
+        profile[:n_subs] = mp.profile
+        index[:n_subs] = mp.index
+        self._profile = profile
+        self._index = index
+        mu, sigma = ctx.moving_mean_std(self.length)
+        self._mu[:n_subs] = mu
+        self._sigma[:n_subs] = sigma
+        # Dot products of the LAST subsequence against all others; the
+        # append recurrence extends this vector in O(n).
+        self._qt[:n_subs] = ctx.sliding_dot_product(ctx.series[n_subs - 1 :])
+
+    def _grow(self) -> None:
+        obs.add("streaming.buffer.regrows")
+        new_cap = self._cap * 2
+        for name in ("_buf", "_mu", "_sigma", "_qt", "_qt_tmp",
+                     "_profile", "_index"):
+            old = getattr(self, name)
+            new = np.empty(new_cap, dtype=old.dtype)
+            new[: self._cap] = old
+            setattr(self, name, new)
+        self._cap = new_cap
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._n
 
     @property
     def n_subsequences(self) -> int:
-        return len(self._values) - self.length + 1
+        return self._n - self.length + 1
+
+    @property
+    def window_start(self) -> int:
+        """Absolute stream offset of the first retained point."""
+        return self._start
+
+    @property
+    def max_points(self) -> Optional[int]:
+        """Sliding-window capacity (None = unbounded growth)."""
+        return self._max_points
 
     def append(self, value: float) -> None:
         """Ingest one new point, updating the profile in O(n)."""
         if not np.isfinite(value):
             raise InvalidParameterError(f"appended value must be finite, got {value}")
-        self._values.append(float(value))
-        t = np.asarray(self._values, dtype=np.float64)
-        n = t.size
+        with obs.span("streaming.append"):
+            obs.add("streaming.appends")
+            self._append(float(value))
+            if self._max_points is not None and self._n > self._max_points:
+                self._evict(self._n - self._max_points)
+
+    def _append(self, value: float) -> None:
+        if self._n + 1 > self._cap:
+            self._grow()
+        self._buf[self._n] = value
+        self._n += 1
+        n = self._n
         length = self.length
+        t = self._buf[:n]
         n_subs = n - length + 1
         new = n_subs - 1  # offset of the subsequence that just appeared
 
+        # Window statistics: one exact O(l) computation for the newest
+        # window — identical precision to the batch "suspicious window"
+        # recompute path, so no per-append context rebuild is needed.
+        window = t[n - length : n]
+        mu_new = float(window.mean())
+        sigma_new = math.sqrt(max(float(window.var()), 0.0))
+        self._mu[new] = mu_new
+        self._sigma[new] = sigma_new
+
         # Extend the trailing-QT vector: QT_new[j] relates to the
         # previous last subsequence's QT by the STOMP recurrence run
-        # backwards along the new row.
-        prev_qt = self._last_qt  # dots of subsequence new-1 at old time
-        qt = np.empty(n_subs, dtype=np.float64)
-        qt[1:] = (
+        # backwards along the new row.  Ping-pong between two hoisted
+        # buffers (the recurrence reads all previous entries).
+        prev_qt = self._qt[: n_subs - 1]
+        qt = self._qt_tmp
+        qt[1:n_subs] = (
             prev_qt
             - t[: n_subs - 1] * t[new - 1]
             + t[length : length + n_subs - 1] * t[n - 1]
         )
         qt[0] = float(np.dot(t[:length], t[new:]))
-        self._last_qt = qt
+        self._qt, self._qt_tmp = self._qt_tmp, self._qt
 
-        # Statistics for all windows (O(n); a ring of running sums would
-        # make this O(1) amortized — out of scope for clarity).
-        mu, sigma = ensure_context(t).moving_mean_std(length)
         row = distance_profile_from_qt(
-            qt, length, float(mu[new]), float(sigma[new]), mu, sigma
+            qt[:n_subs], length, mu_new, sigma_new,
+            self._mu[:n_subs], self._sigma[:n_subs],
         )
         lo = max(0, new - self._zone + 1)
         row[lo:] = np.inf
 
-        profile = np.append(self._profile, np.inf)
-        index = np.append(self._index, -1)
+        profile = self._profile
+        index = self._index
+        profile[new] = np.inf
+        index[new] = -1
         j = int(np.argmin(row))
         if np.isfinite(row[j]):
             profile[new] = row[j]
             index[new] = j
         better = row < profile[:n_subs]
-        profile[: n_subs][better] = row[better]
-        index[: n_subs][better] = new
-        self._profile = profile
-        self._index = index
+        profile[:n_subs][better] = row[better]
+        index[:n_subs][better] = new
+
+    def _evict(self, count: int) -> None:
+        """Retire the ``count`` oldest points and repair orphaned rows."""
+        length = self.length
+        remaining = self._n - count
+        if remaining < 2 * length:
+            raise WindowTooSmallError(
+                f"evicting {count} points would leave {remaining} < "
+                f"{2 * length} needed for length {length}"
+            )
+        obs.add("streaming.entries.evicted", count)
+        n_subs_old = self._n - length + 1
+        n_subs = n_subs_old - count
+        self._buf[:remaining] = self._buf[count : self._n]
+        self._n = remaining
+        self._start += count
+        for name in ("_mu", "_sigma", "_qt", "_profile", "_index"):
+            arr = getattr(self, name)
+            arr[:n_subs] = arr[count : count + n_subs]
+        profile = self._profile
+        index = self._index
+        idx = index[:n_subs]
+        had_neighbor = idx >= 0
+        idx[had_neighbor] -= count
+        # Rows whose recorded neighbor was evicted lost the witness of
+        # their profile value (the minimum may now be larger): recompute
+        # them exactly against the surviving window.  Rows whose
+        # neighbor survives keep exact values — the old minimum is
+        # attained by a survivor.
+        stale = np.flatnonzero(had_neighbor & (idx < 0))
+        if stale.size:
+            obs.add("streaming.rows.repaired", int(stale.size))
+            t = self._buf[: self._n]
+            mu = self._mu[:n_subs]
+            sigma = self._sigma[:n_subs]
+            for j in stale:
+                j = int(j)
+                qt_row = np.correlate(t, t[j : j + length], mode="valid")
+                row = distance_profile_from_qt(
+                    qt_row, length, float(mu[j]), float(sigma[j]), mu, sigma
+                )
+                apply_exclusion_zone(row, j, self._zone)
+                jj = int(np.argmin(row))
+                if np.isfinite(row[jj]):
+                    profile[j] = row[jj]
+                    index[j] = jj
+                else:
+                    profile[j] = np.inf
+                    index[j] = -1
 
     def extend(self, values: Sequence[float]) -> None:
         """Append many points."""
@@ -126,14 +278,15 @@ class StreamingMatrixProfile:
 
     def matrix_profile(self) -> MatrixProfile:
         """The current profile as an immutable snapshot."""
-        if self._profile is None:
+        if self._profile is None or self._index is None:
             raise NotComputedError("streaming profile not initialized")
+        n_subs = self.n_subsequences
         return MatrixProfile(
-            profile=self._profile.copy(),
-            index=self._index.copy(),
+            profile=self._profile[:n_subs].copy(),
+            index=self._index[:n_subs].copy(),
             length=self.length,
         )
 
     def series(self) -> np.ndarray:
-        """A copy of the current series."""
-        return np.asarray(self._values, dtype=np.float64)
+        """A copy of the current series window."""
+        return self._buf[: self._n].copy()

@@ -101,6 +101,15 @@ COUNTERS: Dict[str, str] = {
     "discords.profiles.pruned.l{length}": "per-length split of discords.profiles.pruned",
     "discords.profiles.recomputed": "full profiles actually computed for discords",
     "discords.profiles.recomputed.l{length}": "per-length split of discords.profiles.recomputed",
+    # streaming engines (fixed-length StreamingMatrixProfile and
+    # variable-length StreamingValmod share the streaming.* namespace)
+    "streaming.appends": "points ingested by a streaming engine",
+    "streaming.lengths.updated": "per-length eager states refreshed across appends",
+    "streaming.entries.evicted": "profile/VALMP entries retired by window eviction",
+    "streaming.rows.repaired": "evicted-neighbor rows recomputed exactly after eviction",
+    "streaming.buffer.regrows": "amortized capacity doublings of hoisted scratch buffers",
+    "streaming.qt.reanchors": "trailing QT rows recomputed exactly (drift schedule)",
+    "streaming.events.dropped": "change events discarded because the event queue was full",
     # features façade / store
     "features.cache.hits": "feature-store lookups served from disk",
     "features.cache.misses": "feature-store lookups that fell through to compute",
@@ -144,6 +153,9 @@ SPANS: Dict[str, str] = {
     "features.segmentation": "FLUSS segmentation inside the façade",
     "features.annotation": "annotation vectors inside the façade",
     "features.store": "one feature-store read or write",
+    "streaming.append": "one streaming append (eager per-length update)",
+    "streaming.materialize.motifs": "batch VALMOD run materializing streaming motifs",
+    "streaming.materialize.discords": "warm-start pruned discord materialization",
 }
 
 _KINDS: Dict[str, Dict[str, str]] = {

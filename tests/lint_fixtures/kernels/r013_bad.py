@@ -1,6 +1,12 @@
-"""Bad: a public __all__ function with no contract and no opt-out."""
+"""Bad: public __all__ callables with no contract and no opt-out."""
 
-__all__ = ["uncontracted_kernel"]
+__all__ = ["UncontractedState", "uncontracted_kernel"]
+
+
+class UncontractedState:
+    def __init__(self, series, length):
+        self.series = series
+        self.length = length
 
 
 def uncontracted_kernel(series, length):

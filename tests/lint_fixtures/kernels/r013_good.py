@@ -1,12 +1,30 @@
 """Good: contracts or explicit opt-outs on every public function."""
 
-from repro.lint.contracts import positive_int, require
+from repro.lint.contracts import positive_int, require, series_like
 
-__all__ = ["KernelConfig", "contracted_kernel", "dispatch_helper"]
+__all__ = [
+    "ContractedState",
+    "DispatchRegistry",
+    "KernelConfig",
+    "contracted_kernel",
+    "dispatch_helper",
+]
 
 
 class KernelConfig:
     pass
+
+
+class ContractedState:
+    @require(series=series_like(), length=positive_int())
+    def __init__(self, series, length):
+        self.series = series
+        self.length = length
+
+
+class DispatchRegistry:
+    def __init__(self):  # repro-lint: ignore[R013] - no parameters to predicate
+        self.entries = {}
 
 
 @require(length=positive_int())

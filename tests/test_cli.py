@@ -131,6 +131,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "coverage" in out
 
+    def test_stream_synthetic(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--dataset", "ECG",
+                "--points", "800",
+                "--l-min", "24",
+                "--l-max", "28",
+                "--init", "200",
+                "--chunk", "100",
+                "--max-points", "400",
+                "--snapshot-every", "200",
+                "--k-discords", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# streaming 600 points" in out
+        assert "window-evicted" in out
+        assert "# snapshot @" in out
+        assert "# final window [400, 800)" in out
+        assert "normalized" in out  # motif + discord tables printed
+
+    def test_stream_from_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        rng = np.random.default_rng(0)
+        series = np.cumsum(rng.standard_normal(500))
+        text = "\n".join(f"{v:.9f}" for v in series)
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        code = main(
+            ["stream", "--csv", "-", "--l-min", "16", "--l-max", "20",
+             "--init", "100", "--chunk", "200"]
+        )
+        assert code == 0
+        assert "# final window [0, 500)" in capsys.readouterr().out
+
+    def test_stream_rejects_short_feed(self, capsys):
+        code = main(
+            ["stream", "--dataset", "ECG", "--points", "150",
+             "--l-min", "24", "--l-max", "28", "--init", "200"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_error_reported_cleanly(self, capsys):
         code = main(
             ["motifs", "--dataset", "ECG", "--points", "100",

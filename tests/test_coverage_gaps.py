@@ -97,3 +97,30 @@ class TestSparkBucketing:
         out = sparkline(np.linspace(0, 1, 1000), width=40)
         assert len(out) == 40
         assert list(out) == sorted(out)
+
+
+class TestStreamingErrorPaths:
+    def test_not_computed_guard(self, noise_series):
+        from repro.exceptions import NotComputedError
+        from repro.matrixprofile import StreamingMatrixProfile
+
+        smp = StreamingMatrixProfile(noise_series[:200], length=16)
+        smp._profile = None  # simulate a half-initialized instance
+        with pytest.raises(NotComputedError):
+            smp.matrix_profile()
+
+    @pytest.mark.parametrize("length", [0, 1, -4, 101, 10_000])
+    def test_invalid_lengths_rejected(self, noise_series, length):
+        from repro.matrixprofile import StreamingMatrixProfile
+
+        with pytest.raises(InvalidParameterError):
+            StreamingMatrixProfile(noise_series[:200], length=length)
+
+    def test_non_finite_seed_series_rejected(self):
+        from repro.exceptions import InvalidSeriesError
+        from repro.matrixprofile import StreamingMatrixProfile
+
+        bad = np.ones(100)
+        bad[40] = np.nan
+        with pytest.raises(InvalidSeriesError):
+            StreamingMatrixProfile(bad, length=10)

@@ -13,7 +13,7 @@ from repro.core.discords import (
     per_length_candidates,
     select_top_k,
 )
-from repro.core.discords_variable import _length_upper_bound
+from repro.core.discords_variable import length_upper_bound
 from repro.exceptions import InvalidParameterError
 from repro.kernels.context import SeriesContext
 from repro.matrixprofile.exclusion import exclusion_zone_half_width
@@ -126,7 +126,7 @@ class TestProperties:
         _, store = compute_matrix_profile(t, base, p=8, context=ctx)
         for length in range(base + 1, base + 8):
             store.advance_to(length, t)
-            upper = _length_upper_bound(store.neighbor, store.qt, ctx, length)
+            upper = length_upper_bound(store.neighbor, store.qt, ctx, length)
             profile = stomp(t, length, context=ctx).profile
             true_max = float(
                 np.nanmax(np.where(np.isfinite(profile), profile, np.nan))

@@ -51,7 +51,7 @@ BAD_FIXTURES = {
     "R010": ("r010_bad.py", 2),
     "R011": ("r011_bad.py", 2),
     "R012": ("kernels/r012_bad.py", 3),
-    "R013": ("kernels/r013_bad.py", 1),
+    "R013": ("kernels/r013_bad.py", 2),
 }
 GOOD_FIXTURES = {
     "R001": "matrixprofile/r001_good.py",
@@ -513,3 +513,46 @@ class TestContractCoverage:
             "def helper(x):\n    return x\n"
         )
         assert rule_ids(lint_source(source, path="core/fake.py")) == ["R013"]
+
+    def test_exported_class_init_flagged(self):
+        source = (
+            '__all__ = ["State"]\n\n\n'
+            "class State:\n"
+            "    def __init__(self, series):\n"
+            "        self.series = series\n"
+        )
+        diags = lint_source(source, path="matrixprofile/fake.py")
+        assert rule_ids(diags) == ["R013"]
+        assert "State.__init__" in diags[0].message
+
+    def test_exported_class_with_contracted_init_clean(self):
+        source = (
+            "from repro.lint.contracts import positive_int, require\n"
+            '__all__ = ["State"]\n'
+            "class State:\n"
+            "    @require(length=positive_int())\n"
+            "    def __init__(self, length):\n"
+            "        self.length = length\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+    def test_exported_class_without_explicit_init_exempt(self):
+        source = (
+            '__all__ = ["Record"]\n\n\n'
+            "class Record:\n"
+            "    kind = 'plain'\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
+
+    def test_non_exported_class_init_exempt(self):
+        source = (
+            "from repro.lint.contracts import positive_int, require\n"
+            '__all__ = ["f"]\n'
+            "@require(x=positive_int())\n"
+            "def f(x):\n"
+            "    return x\n"
+            "class _Helper:\n"
+            "    def __init__(self, x):\n"
+            "        self.x = x\n"
+        )
+        assert lint_source(source, path="matrixprofile/fake.py") == []
